@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"aroma/internal/trace"
+)
+
+// This file regenerates the paper's five figures as text diagrams driven
+// by the model's own structure (the inventory of layers, columns and
+// relations lives in code, so the diagrams cannot drift from the
+// implementation).
+
+// LayerInfo describes one layer of the model as the paper presents it.
+type LayerInfo struct {
+	Layer      Layer
+	UserSide   string
+	DeviceSide string
+	Relation   Relation
+}
+
+// ModelInventory returns the five layers top-down (intentional first),
+// exactly as in the paper's Figure 1.
+func ModelInventory() []LayerInfo {
+	return []LayerInfo{
+		{Intentional, "User Goals", "Design Purpose", RelInHarmonyWith},
+		{Abstract, "Mental Models", "Application", RelConsistentWith},
+		{Resource, "User Faculties", "Mem Sto Exe UI Net", RelNotFrustratedBy},
+		{Physical, "Physical User", "Physical Devices", RelCompatibleWith},
+		{Environment, "— shared —", "— shared —", RelCommunicatesVia},
+	}
+}
+
+// RenderFigure1 draws the Aroma conceptual model diagram (paper Fig. 1):
+// user column, device column, five layers.
+func RenderFigure1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — Aroma pervasive computing conceptual model (LPC)\n\n")
+	fmt.Fprintf(&b, "  %-16s | %-15s | %-20s\n", "User side", "Layer", "Device side")
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 58))
+	for _, li := range ModelInventory() {
+		fmt.Fprintf(&b, "  %-16s | %-15s | %-20s\n", li.UserSide, li.Layer.String(), li.DeviceSide)
+	}
+	b.WriteString("\n  (top = greater temporal specificity for users,\n")
+	b.WriteString("   greater abstraction for devices; bottom = the shared environment)\n")
+	return b.String()
+}
+
+// RenderFigureForLayer draws the per-layer relation diagram
+// (paper Figs. 2–5).
+func RenderFigureForLayer(l Layer) string {
+	var num int
+	switch l {
+	case Environment, Physical:
+		num = 2
+	case Resource:
+		num = 3
+	case Abstract:
+		num = 4
+	case Intentional:
+		num = 5
+	}
+	var li LayerInfo
+	for _, x := range ModelInventory() {
+		if x.Layer == l {
+			li = x
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d — %s layer\n\n", num, l)
+	if l == Environment {
+		b.WriteString("  Physical Entity* ...communicates with... Physical Entity*\n")
+		b.WriteString("        \\_________________ Environment _________________/\n")
+		b.WriteString("  (* either a user or a device; both must be compatible with it)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  [user]   %-18s\n", li.UserSide)
+	fmt.Fprintf(&b, "              ...%s...\n", li.Relation)
+	fmt.Fprintf(&b, "  [device] %-18s\n", li.DeviceSide)
+	return b.String()
+}
+
+// Render formats a full analysis report, layer by layer bottom-up, in
+// the style of the paper's Smart Projector walkthrough.
+func (r *Report) Render() string {
+	var b strings.Builder
+	mode := "full LPC model (user column enabled)"
+	if !r.UserColumn {
+		mode = "device-only view (user column disabled — OSI-style ablation)"
+	}
+	fmt.Fprintf(&b, "LPC analysis of %q — %s\n", r.SystemName, mode)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", 64))
+	for _, l := range trace.Layers() {
+		fs := r.ByLayer(l)
+		fmt.Fprintf(&b, "\n%s layer (%s): %d finding(s)\n", l, RelationFor(l), len(fs))
+		for _, f := range fs {
+			fmt.Fprintf(&b, "  %-9s %-28s %s\n", f.Severity, f.Subject, f.Detail)
+		}
+	}
+	fmt.Fprintf(&b, "\nTotals: %d findings, %d issues+, %d violations\n",
+		len(r.Findings), r.CountBySeverity(trace.Issue), len(r.Violations()))
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"aroma/internal/device"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+	"aroma/internal/user"
+)
+
+// This file lets a system description be loaded from JSON, so the LPC
+// analyzer can be applied to a design document without writing Go — the
+// "facilitate discussion and analysis" use the paper intends the model
+// for. The schema covers the static five-layer description (devices,
+// users, links); live substrates (radios, running devices) are attached
+// programmatically when needed.
+
+// SystemDoc is the JSON schema for a system description.
+type SystemDoc struct {
+	Name    string      `json:"name"`
+	Devices []DeviceDoc `json:"devices"`
+	Users   []UserDoc   `json:"users"`
+	Links   []LinkDoc   `json:"links,omitempty"`
+}
+
+// DeviceDoc describes one appliance.
+type DeviceDoc struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+
+	// Resource layer (Figure 3 classes). Preset selects a built-in spec
+	// ("laptop", "aroma-adapter", "pda"); explicit fields override it.
+	Preset         string   `json:"preset,omitempty"`
+	MemBytes       int64    `json:"memBytes,omitempty"`
+	StoBytes       int64    `json:"stoBytes,omitempty"`
+	ExeMIPS        float64  `json:"exeMIPS,omitempty"`
+	SingleThread   bool     `json:"singleThreaded,omitempty"`
+	NoAbort        bool     `json:"noAbort,omitempty"`
+	DisplayW       int      `json:"displayW,omitempty"`
+	DisplayH       int      `json:"displayH,omitempty"`
+	InputMethods   []string `json:"inputMethods,omitempty"`
+	Languages      []string `json:"languages,omitempty"`
+	UILatencyMS    int64    `json:"uiLatencyMs,omitempty"`
+	OperatingRange float64  `json:"operatingRangeM,omitempty"`
+
+	// Abstract layer.
+	AppState map[string]string `json:"appState,omitempty"`
+
+	// Intentional layer.
+	Purpose      string             `json:"purpose,omitempty"`
+	Capabilities map[string]float64 `json:"capabilities,omitempty"`
+	AssumedSkill float64            `json:"assumedSkill,omitempty"`
+}
+
+// UserDoc describes one human participant.
+type UserDoc struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+
+	// Resource layer faculties. Preset: "researcher" or "casual";
+	// explicit fields override.
+	Preset               string   `json:"preset,omitempty"`
+	Languages            []string `json:"languages,omitempty"`
+	TechSkill            float64  `json:"techSkill,omitempty"`
+	FrustrationTolerance float64  `json:"frustrationTolerance,omitempty"`
+	PatienceMS           int64    `json:"patienceMs,omitempty"`
+
+	// Abstract layer: initial beliefs about system state.
+	Beliefs map[string]string `json:"beliefs,omitempty"`
+
+	// Intentional layer.
+	Goals []GoalDoc `json:"goals,omitempty"`
+
+	Operates  []string `json:"operates"`
+	UsesVoice bool     `json:"usesVoice,omitempty"`
+}
+
+// GoalDoc is one user goal.
+type GoalDoc struct {
+	Name       string   `json:"name"`
+	Needs      []string `json:"needs,omitempty"`
+	Importance float64  `json:"importance"`
+}
+
+// LinkDoc declares a required communication link.
+type LinkDoc struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// LoadSystem parses a JSON system description into an analyzable System.
+// The kernel provides the clock for the user models.
+func LoadSystem(k *sim.Kernel, data []byte) (*System, error) {
+	var doc SystemDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("core: parsing system doc: %w", err)
+	}
+	if doc.Name == "" {
+		return nil, fmt.Errorf("core: system doc needs a name")
+	}
+	sys := &System{Name: doc.Name}
+	seen := make(map[string]bool)
+	for i, dd := range doc.Devices {
+		if dd.Name == "" {
+			return nil, fmt.Errorf("core: device %d has no name", i)
+		}
+		if seen[dd.Name] {
+			return nil, fmt.Errorf("core: duplicate device %q", dd.Name)
+		}
+		seen[dd.Name] = true
+		spec, err := deviceSpecFromDoc(dd)
+		if err != nil {
+			return nil, err
+		}
+		sys.AddDevice(&DeviceEntity{
+			Name:            dd.Name,
+			Pos:             geo.Pt(dd.X, dd.Y),
+			Spec:            spec,
+			AppState:        dd.AppState,
+			OperatingRangeM: dd.OperatingRange,
+			Purpose: DesignPurpose{
+				Description:  dd.Purpose,
+				Capabilities: dd.Capabilities,
+				AssumedSkill: dd.AssumedSkill,
+			},
+		})
+	}
+	for i, ud := range doc.Users {
+		if ud.Name == "" {
+			return nil, fmt.Errorf("core: user %d has no name", i)
+		}
+		fac, err := facultiesFromDoc(ud)
+		if err != nil {
+			return nil, err
+		}
+		u := user.New(k, ud.Name, fac)
+		u.Pos = geo.Pt(ud.X, ud.Y)
+		for prop, val := range ud.Beliefs {
+			u.Mental.Believe(prop, val)
+		}
+		for _, g := range ud.Goals {
+			u.Goals = append(u.Goals, user.Goal{Name: g.Name, Needs: g.Needs, Importance: g.Importance})
+		}
+		for _, op := range ud.Operates {
+			if !seen[op] {
+				return nil, fmt.Errorf("core: user %q operates unknown device %q", ud.Name, op)
+			}
+		}
+		sys.AddUser(&UserEntity{U: u, Operates: ud.Operates, UsesVoice: ud.UsesVoice})
+	}
+	for _, l := range doc.Links {
+		if !seen[l.A] || !seen[l.B] {
+			return nil, fmt.Errorf("core: link %s<->%s references unknown device", l.A, l.B)
+		}
+		sys.Links = append(sys.Links, Link{A: l.A, B: l.B})
+	}
+	return sys, nil
+}
+
+func deviceSpecFromDoc(dd DeviceDoc) (device.Spec, error) {
+	var spec device.Spec
+	switch dd.Preset {
+	case "laptop":
+		spec = device.LaptopSpec()
+	case "aroma-adapter":
+		spec = device.AromaAdapterSpec()
+	case "pda":
+		spec = device.PDASpec()
+	case "":
+		spec = device.Spec{
+			Name: dd.Name, MemBytes: 16 << 20, StoBytes: 32 << 20, ExeMIPS: 100,
+			Exec: device.MultiThreaded, AllowAbort: true,
+			UI: device.UISpec{Languages: []string{"en"}, BaseLatency: 100 * sim.Millisecond},
+		}
+	default:
+		return spec, fmt.Errorf("core: device %q: unknown preset %q", dd.Name, dd.Preset)
+	}
+	spec.Name = dd.Name
+	if dd.MemBytes > 0 {
+		spec.MemBytes = dd.MemBytes
+	}
+	if dd.StoBytes > 0 {
+		spec.StoBytes = dd.StoBytes
+	}
+	if dd.ExeMIPS > 0 {
+		spec.ExeMIPS = dd.ExeMIPS
+	}
+	if dd.SingleThread {
+		spec.Exec = device.SingleThreaded
+	}
+	if dd.NoAbort {
+		spec.AllowAbort = false
+	}
+	if dd.DisplayW > 0 {
+		spec.UI.DisplayW = dd.DisplayW
+	}
+	if dd.DisplayH > 0 {
+		spec.UI.DisplayH = dd.DisplayH
+	}
+	if len(dd.InputMethods) > 0 {
+		spec.UI.InputMethods = dd.InputMethods
+	}
+	if len(dd.Languages) > 0 {
+		spec.UI.Languages = dd.Languages
+	}
+	if dd.UILatencyMS > 0 {
+		spec.UI.BaseLatency = sim.Time(dd.UILatencyMS) * sim.Millisecond
+	}
+	return spec, nil
+}
+
+func facultiesFromDoc(ud UserDoc) (user.Faculties, error) {
+	var fac user.Faculties
+	switch ud.Preset {
+	case "researcher":
+		fac = user.ResearcherFaculties()
+	case "casual":
+		fac = user.CasualFaculties()
+	case "":
+		fac = user.Faculties{
+			Languages: []string{"en"}, TechSkill: 0.5,
+			Training: map[string]float64{}, FrustrationTolerance: 0.6,
+			PatienceLimit: 3 * sim.Second,
+		}
+	default:
+		return fac, fmt.Errorf("core: user %q: unknown preset %q", ud.Name, ud.Preset)
+	}
+	if len(ud.Languages) > 0 {
+		fac.Languages = ud.Languages
+	}
+	if ud.TechSkill > 0 {
+		fac.TechSkill = ud.TechSkill
+	}
+	if ud.FrustrationTolerance > 0 {
+		fac.FrustrationTolerance = ud.FrustrationTolerance
+	}
+	if ud.PatienceMS > 0 {
+		fac.PatienceLimit = sim.Time(ud.PatienceMS) * sim.Millisecond
+	}
+	return fac, nil
+}

@@ -1,0 +1,61 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+
+	"aroma/internal/sim"
+)
+
+// BenchmarkRegisterLookupCycle measures a full register + query cycle
+// against a lookup service over the simulated wireless stack.
+func BenchmarkRegisterLookupCycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k, lk, agents := rigBench(int64(i + 1))
+		lk.Start()
+		k.RunUntil(sim.Second)
+		agents[0].Register(Item{Name: "svc", Type: "t"}, sim.Minute, nil)
+		found := 0
+		agents[0].Lookup(Template{Type: "t"}, func(items []Item, err error) { found = len(items) })
+		k.RunUntil(5 * sim.Second)
+		if found != 1 {
+			b.Fatalf("lookup found %d", found)
+		}
+	}
+}
+
+// BenchmarkTemplateMatch measures in-memory template matching over a
+// large registry (the lookup's query inner loop).
+func BenchmarkTemplateMatch(b *testing.B) {
+	items := make([]Item, 1000)
+	for i := range items {
+		items[i] = Item{
+			Name: fmt.Sprintf("svc-%d", i),
+			Type: []string{"printer", "display", "sensor"}[i%3],
+			Attrs: map[string]string{
+				"room":  fmt.Sprintf("%d", i%20),
+				"floor": fmt.Sprintf("%d", i%4),
+			},
+		}
+	}
+	tmpl := Template{Type: "display", Attrs: map[string]string{"floor": "2"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, it := range items {
+			if tmpl.Matches(it) {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// rigBench is a minimal copy of the test rig for benchmarks.
+func rigBench(seed int64) (*sim.Kernel, *Lookup, []*Agent) {
+	return rig(seed, 1)
+}

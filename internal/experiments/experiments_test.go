@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsMatchPaperShape runs every reproduction and asserts
+// its shape check — the repo-level statement that the measured curves
+// agree with the paper's qualitative claims.
+func TestAllExperimentsMatchPaperShape(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(1)
+			if res == nil {
+				t.Fatal("nil result")
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q != %q", res.ID, e.ID)
+			}
+			if !res.ShapeOK {
+				t.Fatalf("shape check failed: %s\n%s", res.ShapeWhy, res.Render())
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("experiment produced no tables")
+			}
+			out := res.Render()
+			if !strings.Contains(out, "MATCHES") {
+				t.Fatal("render missing verdict")
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Spot-check a cheap experiment: same seed, same render.
+	a := F5(3).Render()
+	b := F5(3).Render()
+	if a != b {
+		t.Fatal("experiment output not deterministic for fixed seed")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if e := ByID("C1"); e == nil || e.ID != "C1" {
+		t.Fatal("ByID C1 failed")
+	}
+	if e := ByID("nope"); e != nil {
+		t.Fatal("ByID should return nil for unknown")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"F1", "F2", "F3", "F4", "F5", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing from registry", want)
+		}
+	}
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(ids))
+	}
+}

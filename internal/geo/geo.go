@@ -1,0 +1,258 @@
+// Package geo provides the 2-D geometry used by the environment layer:
+// points, segments, rectangles (rooms), wall intersection counting, and
+// simple waypoint mobility paths.
+//
+// Coordinates are in metres. The package is purely computational and has no
+// dependency on the simulation kernel.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Lerp returns the point a fraction t of the way from p to q.
+// t is clamped to [0, 1].
+func (p Point) Lerp(q Point, t float64) Point {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// String formats the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Segment is a directed line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// cross returns the z component of (b-a) x (c-a).
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Intersects reports whether segments s and t intersect, including at
+// endpoints and for collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := cross(t.A, t.B, s.A)
+	d2 := cross(t.A, t.B, s.B)
+	d3 := cross(s.A, s.B, t.A)
+	d4 := cross(s.A, s.B, t.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	if d1 == 0 && onSegment(t, s.A) {
+		return true
+	}
+	if d2 == 0 && onSegment(t, s.B) {
+		return true
+	}
+	if d3 == 0 && onSegment(s, t.A) {
+		return true
+	}
+	if d4 == 0 && onSegment(s, t.B) {
+		return true
+	}
+	return false
+}
+
+// onSegment reports whether p (known collinear with s) lies on s.
+func onSegment(s Segment, p Point) bool {
+	return math.Min(s.A.X, s.B.X) <= p.X && p.X <= math.Max(s.A.X, s.B.X) &&
+		math.Min(s.A.Y, s.B.Y) <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)
+}
+
+// Rect is an axis-aligned rectangle, used for rooms and floor plans.
+// Min is the lower-left corner, Max the upper-right.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectAt builds a Rect from its lower-left corner, width and height.
+func RectAt(x, y, w, h float64) Rect {
+	return Rect{Min: Pt(x, y), Max: Pt(x+w, y+h)}
+}
+
+// Width returns the rectangle width.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the rectangle height.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle center.
+func (r Rect) Center() Point { return r.Min.Lerp(r.Max, 0.5) }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Edges returns the four boundary segments of r.
+func (r Rect) Edges() [4]Segment {
+	a := r.Min
+	b := Pt(r.Max.X, r.Min.Y)
+	c := r.Max
+	d := Pt(r.Min.X, r.Max.Y)
+	return [4]Segment{Seg(a, b), Seg(b, c), Seg(c, d), Seg(d, a)}
+}
+
+// Wall is an attenuating obstacle in the floor plan. LossDB is the signal
+// attenuation in decibels that a radio path crossing the wall incurs;
+// AcousticLossDB is the analogous attenuation for sound.
+type Wall struct {
+	Seg            Segment
+	LossDB         float64
+	AcousticLossDB float64
+}
+
+// FloorPlan is a set of walls plus an overall bounding area.
+type FloorPlan struct {
+	Bounds Rect
+	Walls  []Wall
+}
+
+// NewFloorPlan creates an empty floor plan with the given bounds.
+func NewFloorPlan(bounds Rect) *FloorPlan {
+	return &FloorPlan{Bounds: bounds}
+}
+
+// AddWall appends a wall with the given radio and acoustic losses.
+func (f *FloorPlan) AddWall(s Segment, lossDB, acousticLossDB float64) {
+	f.Walls = append(f.Walls, Wall{Seg: s, LossDB: lossDB, AcousticLossDB: acousticLossDB})
+}
+
+// AddRoom adds the four edges of r as walls sharing the same losses.
+// Interior doorways should be modelled by splitting wall segments manually.
+func (f *FloorPlan) AddRoom(r Rect, lossDB, acousticLossDB float64) {
+	for _, e := range r.Edges() {
+		f.AddWall(e, lossDB, acousticLossDB)
+	}
+}
+
+// WallsCrossed returns the number of walls the straight path a->b crosses.
+func (f *FloorPlan) WallsCrossed(a, b Point) int {
+	n := 0
+	path := Seg(a, b)
+	for _, w := range f.Walls {
+		if path.Intersects(w.Seg) {
+			n++
+		}
+	}
+	return n
+}
+
+// PathLossDB returns the total radio wall attenuation along a->b.
+func (f *FloorPlan) PathLossDB(a, b Point) float64 {
+	loss := 0.0
+	path := Seg(a, b)
+	for _, w := range f.Walls {
+		if path.Intersects(w.Seg) {
+			loss += w.LossDB
+		}
+	}
+	return loss
+}
+
+// AcousticLossDB returns the total acoustic wall attenuation along a->b.
+func (f *FloorPlan) AcousticLossDB(a, b Point) float64 {
+	loss := 0.0
+	path := Seg(a, b)
+	for _, w := range f.Walls {
+		if path.Intersects(w.Seg) {
+			loss += w.AcousticLossDB
+		}
+	}
+	return loss
+}
+
+// Path is a sequence of waypoints traversed at a constant speed, used by
+// the mobility model for users and portable devices.
+type Path struct {
+	Waypoints []Point
+	SpeedMPS  float64 // metres per second; must be > 0 for moving paths
+}
+
+// TotalLength returns the summed length of all path legs.
+func (p Path) TotalLength() float64 {
+	total := 0.0
+	for i := 1; i < len(p.Waypoints); i++ {
+		total += p.Waypoints[i-1].Dist(p.Waypoints[i])
+	}
+	return total
+}
+
+// PositionAt returns the position after travelling for tSeconds from the
+// first waypoint. Past the end of the path the final waypoint is returned.
+// An empty path returns the origin; a single-waypoint path is stationary.
+func (p Path) PositionAt(tSeconds float64) Point {
+	if len(p.Waypoints) == 0 {
+		return Point{}
+	}
+	if len(p.Waypoints) == 1 || p.SpeedMPS <= 0 || tSeconds <= 0 {
+		return p.Waypoints[0]
+	}
+	remaining := tSeconds * p.SpeedMPS
+	for i := 1; i < len(p.Waypoints); i++ {
+		leg := p.Waypoints[i-1].Dist(p.Waypoints[i])
+		if remaining <= leg {
+			if leg == 0 {
+				continue
+			}
+			return p.Waypoints[i-1].Lerp(p.Waypoints[i], remaining/leg)
+		}
+		remaining -= leg
+	}
+	return p.Waypoints[len(p.Waypoints)-1]
+}
+
+// Duration returns the time in seconds to traverse the whole path.
+// A stationary path has duration 0.
+func (p Path) Duration() float64 {
+	if p.SpeedMPS <= 0 {
+		return 0
+	}
+	return p.TotalLength() / p.SpeedMPS
+}

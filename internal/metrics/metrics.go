@@ -1,0 +1,397 @@
+// Package metrics provides the statistics and text-rendering utilities the
+// experiment harness uses: streaming summaries, percentiles, histograms,
+// rate counters, and fixed-width ASCII tables and series for reproducing
+// the paper's figures as terminal output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations and reports count,
+// mean, variance, min and max in O(1) memory (Welford's algorithm).
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe adds one observation.
+func (s *Summary) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Var returns the sample variance (n-1 denominator), or 0 for n < 2.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Sum returns mean*n, the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// String renders "mean ± ci [min, max] (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean(), s.CI95(), s.Min(), s.Max(), s.n)
+}
+
+// Sample retains all observations for exact percentile queries.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Observe adds one observation.
+func (s *Sample) Observe(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between closest ranks. It returns 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Histogram counts observations into equal-width buckets over [lo, hi).
+// Observations outside the range land in the under/overflow counters.
+type Histogram struct {
+	lo, hi      float64
+	buckets     []int
+	under, over int
+	n           int
+}
+
+// NewHistogram creates a histogram with nbuckets equal-width buckets
+// spanning [lo, hi). It panics if nbuckets <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if nbuckets <= 0 || hi <= lo {
+		panic("metrics: invalid histogram parameters")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, nbuckets)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i >= len(h.buckets) { // float edge case at hi
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the total number of observations including out-of-range ones.
+func (h *Histogram) N() int { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Render draws the histogram as an ASCII bar chart with the given bar
+// width in characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.buckets {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	bw := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %6d %s\n", h.lo+float64(i)*bw, h.lo+float64(i+1)*bw, c, bar)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "out of range: under=%d over=%d\n", h.under, h.over)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing event counter with a convenience
+// rate helper.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// RatePer returns the count divided by elapsed (e.g. events per second
+// when elapsed is in seconds). It returns 0 when elapsed <= 0.
+func (c *Counter) RatePer(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n) / elapsed
+}
+
+// Table renders rows with aligned fixed-width columns, suitable for the
+// experiment output that mirrors the paper's (qualitative) tables.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmtFloat(v)
+		case float32:
+			row[i] = fmtFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-text footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Series is an (x, y) sequence rendered as an ASCII line plot; used for
+// the figure-shaped experiment outputs (e.g. FPS vs bandwidth).
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Xs, Ys []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// Render draws the series as rows of "x  y  bar" with the bar scaled to
+// the maximum y value.
+func (s *Series) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxY := 0.0
+	for _, y := range s.Ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s --\n%s vs %s\n", s.Name, s.YLabel, s.XLabel)
+	for i := range s.Xs {
+		bar := ""
+		if maxY > 0 {
+			bar = strings.Repeat("*", int(s.Ys[i]/maxY*float64(width)))
+		}
+		fmt.Fprintf(&b, "%10.4g  %10.4g  %s\n", s.Xs[i], s.Ys[i], bar)
+	}
+	return b.String()
+}
+
+// Knee returns the x value at which y first drops below frac times its
+// maximum, scanning in x order; it returns the last x and false if no such
+// drop occurs. This is used to locate "the knee" in bandwidth-style curves.
+func (s *Series) Knee(frac float64) (float64, bool) {
+	maxY := 0.0
+	for _, y := range s.Ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	for i := range s.Xs {
+		if s.Ys[i] < maxY*frac {
+			return s.Xs[i], true
+		}
+	}
+	if n := len(s.Xs); n > 0 {
+		return s.Xs[n-1], false
+	}
+	return 0, false
+}
+
+// Monotone reports whether the series' y values are non-increasing
+// (dir < 0) or non-decreasing (dir > 0) within tolerance tol.
+func (s *Series) Monotone(dir int, tol float64) bool {
+	for i := 1; i < len(s.Ys); i++ {
+		d := s.Ys[i] - s.Ys[i-1]
+		if dir > 0 && d < -tol {
+			return false
+		}
+		if dir < 0 && d > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of the classic dataset: population var is 4, sample 32/7.
+	if want := 32.0 / 7.0; math.Abs(s.Var()-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", s.Var(), want)
+	}
+	if math.Abs(s.Sum()-40) > 1e-12 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s.Observe(3)
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 || s.Var() != 0 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if m := s.Median(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("median = %v", m)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := s.Percentile(99); p < 98 || p > 100 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if s.Mean() != 50.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Fatal("empty sample not zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i)) // 2 per bucket
+	}
+	h.Observe(-1)
+	h.Observe(100)
+	for i := 0; i < 5; i++ {
+		if h.Bucket(i) != 2 {
+			t.Fatalf("bucket %d = %d", i, h.Bucket(i))
+		}
+	}
+	u, o := h.OutOfRange()
+	if u != 1 || o != 1 {
+		t.Fatalf("under/over = %d/%d", u, o)
+	}
+	if h.N() != 12 {
+		t.Fatalf("N = %d", h.N())
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "out of range") {
+		t.Fatal("render missing out-of-range note")
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	if r := c.RatePer(2); r != 5 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if r := c.RatePer(0); r != 0 {
+		t.Fatalf("Rate(0) = %v", r)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 20)
+	tb.AddNote("shape matches paper")
+	out := tb.Render()
+	if !strings.Contains(out, "== T1 ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "20") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "note: shape matches paper") {
+		t.Fatal("missing note")
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Header and separator line up.
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header/separator widths differ:\n%s", out)
+	}
+}
+
+func TestSeriesKnee(t *testing.T) {
+	var s Series
+	s.Name, s.XLabel, s.YLabel = "fps", "Mbps", "fps"
+	for _, p := range [][2]float64{{1, 30}, {2, 30}, {4, 28}, {8, 10}, {16, 2}} {
+		s.Add(p[0], p[1])
+	}
+	x, ok := s.Knee(0.5)
+	if !ok || x != 8 {
+		t.Fatalf("knee = %v, %v; want 8, true", x, ok)
+	}
+	if !s.Monotone(-1, 0.01) {
+		t.Fatal("series should be non-increasing")
+	}
+	if s.Monotone(1, 0.01) {
+		t.Fatal("series should not be non-decreasing")
+	}
+	out := s.Render(20)
+	if !strings.Contains(out, "fps vs Mbps") {
+		t.Fatalf("render header missing:\n%s", out)
+	}
+}
+
+func TestSeriesKneeNoDrop(t *testing.T) {
+	var s Series
+	s.Add(1, 5)
+	s.Add(2, 5)
+	x, ok := s.Knee(0.5)
+	if ok || x != 2 {
+		t.Fatalf("knee = %v, %v; want 2, false", x, ok)
+	}
+}
+
+func TestSeriesEmptyKnee(t *testing.T) {
+	var s Series
+	if _, ok := s.Knee(0.5); ok {
+		t.Fatal("empty series reported a knee")
+	}
+}
+
+// Property: Summary mean/min/max agree with a direct computation.
+func TestPropertySummaryAgrees(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		min, max := clean[0], clean[0]
+		for _, x := range clean {
+			s.Observe(x)
+			sum += x
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		meanOK := math.Abs(s.Mean()-sum/float64(len(clean))) < 1e-6*(1+math.Abs(sum))
+		return meanOK && s.Min() == min && s.Max() == max && s.N() == len(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range raw {
+			s.Observe(float64(x))
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return s.Percentile(0) <= s.Percentile(100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves observations.
+func TestPropertyHistogramConserves(t *testing.T) {
+	f := func(raw []int16) bool {
+		h := NewHistogram(-100, 100, 10)
+		for _, x := range raw {
+			h.Observe(float64(x))
+		}
+		total := 0
+		for i := 0; i < h.NumBuckets(); i++ {
+			total += h.Bucket(i)
+		}
+		u, o := h.OutOfRange()
+		return total+u+o == len(raw) && h.N() == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}

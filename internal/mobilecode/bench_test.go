@@ -1,0 +1,64 @@
+package mobilecode
+
+import "testing"
+
+func BenchmarkVMFibLoop(b *testing.B) {
+	p, err := Assemble("fib", fibSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := NewVM(nil, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := vm.Run(p, "main", 90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Top()
+	}
+}
+
+func BenchmarkVMSyscall(b *testing.B) {
+	p, err := Assemble("sys", "func main:\n\tpush 1\n\tpush 1\n\tsys \"noop\"\n\thalt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	host := HostFunc(func(string, []int64) ([]int64, error) { return nil, nil })
+	vm := NewVM(host, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(p, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p, err := Assemble("fib", fibSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := Encode(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble("fib", fibSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package mobilecode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wire format (all integers varint-encoded):
+//
+//	magic "AMC1" | name | nconsts {const}* | ncode {op arg?}* | nentries {name offset}*
+//
+// The format is deliberately compact: proxy transfer cost over the
+// wireless link is one of the measured experiments (C7), so code size is
+// a first-class concern.
+const codecMagic = "AMC1"
+
+// Encode serializes a program to its wire format.
+func Encode(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.WriteString(codecMagic)
+	writeString(&b, p.Name)
+	writeUvarint(&b, uint64(len(p.Consts)))
+	for _, c := range p.Consts {
+		writeString(&b, c)
+	}
+	writeUvarint(&b, uint64(len(p.Code)))
+	for _, in := range p.Code {
+		b.WriteByte(byte(in.Op))
+		if in.Op.hasArg() {
+			writeVarint(&b, in.Arg)
+		}
+	}
+	// Deterministic entry order.
+	names := make([]string, 0, len(p.Entry))
+	for n := range p.Entry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeUvarint(&b, uint64(len(names)))
+	for _, n := range names {
+		writeString(&b, n)
+		writeUvarint(&b, uint64(p.Entry[n]))
+	}
+	return b.Bytes(), nil
+}
+
+// Decode parses a wire-format program and validates it.
+func Decode(data []byte) (*Program, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != codecMagic {
+		return nil, fmt.Errorf("mobilecode: bad magic")
+	}
+	p := &Program{Entry: make(map[string]int)}
+	var err error
+	if p.Name, err = readString(r); err != nil {
+		return nil, fmt.Errorf("mobilecode: name: %w", err)
+	}
+	nconsts, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("mobilecode: const count: %w", err)
+	}
+	if nconsts > 1<<16 {
+		return nil, fmt.Errorf("mobilecode: const count %d too large", nconsts)
+	}
+	for i := uint64(0); i < nconsts; i++ {
+		c, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("mobilecode: const %d: %w", i, err)
+		}
+		p.Consts = append(p.Consts, c)
+	}
+	ncode, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("mobilecode: code count: %w", err)
+	}
+	if ncode > 1<<20 {
+		return nil, fmt.Errorf("mobilecode: code count %d too large", ncode)
+	}
+	for i := uint64(0); i < ncode; i++ {
+		opByte, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("mobilecode: instr %d: %w", i, err)
+		}
+		in := Instr{Op: Op(opByte)}
+		if in.Op >= numOps {
+			return nil, fmt.Errorf("mobilecode: instr %d: bad opcode %d", i, opByte)
+		}
+		if in.Op.hasArg() {
+			if in.Arg, err = binary.ReadVarint(r); err != nil {
+				return nil, fmt.Errorf("mobilecode: instr %d arg: %w", i, err)
+			}
+		}
+		p.Code = append(p.Code, in)
+	}
+	nentries, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("mobilecode: entry count: %w", err)
+	}
+	if nentries > 1<<12 {
+		return nil, fmt.Errorf("mobilecode: entry count %d too large", nentries)
+	}
+	for i := uint64(0); i < nentries; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("mobilecode: entry %d name: %w", i, err)
+		}
+		off, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("mobilecode: entry %d offset: %w", i, err)
+		}
+		p.Entry[name] = int(off)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mobilecode: %d trailing bytes", r.Len())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+func writeVarint(b *bytes.Buffer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

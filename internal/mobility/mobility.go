@@ -1,0 +1,144 @@
+// Package mobility animates entity positions over simulated time — the
+// substrate behind the paper's "mobile and adaptive applications" and
+// its physical-layer observation that the presenter is "constrained by
+// requiring physical proximity to the laptop". A Mover walks an entity
+// along a geo.Path; RandomWaypoint generates the classic random-waypoint
+// wandering used by the density experiments.
+//
+// Movement is sampled: every tick the mover recomputes the position and
+// hands it to an apply callback (which typically updates a radio.Radio
+// and/or user.User position). Sampling keeps the radio medium's
+// propagation queries consistent between ticks and keeps runs
+// deterministic.
+package mobility
+
+import (
+	"fmt"
+
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+// DefaultTick is the position sampling interval.
+const DefaultTick = 200 * sim.Millisecond
+
+// Mover walks an entity along a path.
+type Mover struct {
+	kernel  *sim.Kernel
+	path    geo.Path
+	started sim.Time
+	apply   func(geo.Point)
+	stop    func()
+	done    bool
+
+	// OnArrive, if non-nil, fires once when the final waypoint is
+	// reached.
+	OnArrive func()
+}
+
+// Start begins walking the path, sampling every tick (DefaultTick when
+// tick <= 0). The apply callback receives every sampled position,
+// starting immediately with the first waypoint. It returns the Mover,
+// which can be stopped early.
+func Start(k *sim.Kernel, path geo.Path, tick sim.Time, apply func(geo.Point)) *Mover {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	m := &Mover{kernel: k, path: path, started: k.Now(), apply: apply}
+	if apply != nil {
+		apply(path.PositionAt(0))
+	}
+	duration := path.Duration()
+	m.stop = k.Ticker(tick, "mobility.tick", func() {
+		if m.done {
+			return
+		}
+		elapsed := (k.Now() - m.started).Seconds()
+		if apply != nil {
+			apply(path.PositionAt(elapsed))
+		}
+		if elapsed >= duration {
+			m.finish()
+		}
+	})
+	if duration == 0 {
+		// Stationary path: arrive immediately (asynchronously, so the
+		// caller can attach OnArrive first).
+		k.Schedule(0, "mobility.arriveNow", m.finish)
+	}
+	return m
+}
+
+func (m *Mover) finish() {
+	if m.done {
+		return
+	}
+	m.done = true
+	m.stop()
+	if m.OnArrive != nil {
+		m.OnArrive()
+	}
+}
+
+// Stop halts the mover where it is; OnArrive does not fire.
+func (m *Mover) Stop() {
+	if m.done {
+		return
+	}
+	m.done = true
+	m.stop()
+}
+
+// Done reports whether the mover has arrived or been stopped.
+func (m *Mover) Done() bool { return m.done }
+
+// Progress returns the fraction of the path traversed so far in [0,1].
+func (m *Mover) Progress() float64 {
+	d := m.path.Duration()
+	if d == 0 {
+		return 1
+	}
+	p := (m.kernel.Now() - m.started).Seconds() / d
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// String summarizes the mover.
+func (m *Mover) String() string {
+	return fmt.Sprintf("mover{%.0f%% of %.1fm, done=%v}", 100*m.Progress(), m.path.TotalLength(), m.done)
+}
+
+// RandomWaypoint produces a random-waypoint path inside bounds: n legs
+// between uniformly random points at the given speed. Randomness comes
+// from the kernel, preserving determinism per seed.
+func RandomWaypoint(k *sim.Kernel, bounds geo.Rect, n int, speedMPS float64) geo.Path {
+	if n < 1 {
+		n = 1
+	}
+	rng := k.Rand()
+	pts := make([]geo.Point, 0, n+1)
+	for i := 0; i <= n; i++ {
+		pts = append(pts, geo.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		))
+	}
+	return geo.Path{Waypoints: pts, SpeedMPS: speedMPS}
+}
+
+// Patrol builds a path that walks the given waypoints and returns to the
+// first one (a closed loop, walked once).
+func Patrol(waypoints []geo.Point, speedMPS float64) geo.Path {
+	if len(waypoints) == 0 {
+		return geo.Path{SpeedMPS: speedMPS}
+	}
+	wps := make([]geo.Point, len(waypoints)+1)
+	copy(wps, waypoints)
+	wps[len(waypoints)] = waypoints[0]
+	return geo.Path{Waypoints: wps, SpeedMPS: speedMPS}
+}

@@ -1,0 +1,158 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+func TestWalkStraightLine(t *testing.T) {
+	k := sim.New(1)
+	path := geo.Path{Waypoints: []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0)}, SpeedMPS: 1}
+	var positions []geo.Point
+	m := Start(k, path, sim.Second, func(p geo.Point) { positions = append(positions, p) })
+	arrived := false
+	m.OnArrive = func() { arrived = true }
+	k.RunUntil(15 * sim.Second)
+	if !arrived || !m.Done() {
+		t.Fatal("mover did not arrive")
+	}
+	if len(positions) < 10 {
+		t.Fatalf("too few samples: %d", len(positions))
+	}
+	if positions[0] != geo.Pt(0, 0) {
+		t.Fatalf("first sample = %v", positions[0])
+	}
+	last := positions[len(positions)-1]
+	if last.Dist(geo.Pt(10, 0)) > 1e-9 {
+		t.Fatalf("last sample = %v", last)
+	}
+	// Samples advance monotonically in x.
+	for i := 1; i < len(positions); i++ {
+		if positions[i].X < positions[i-1].X-1e-9 {
+			t.Fatalf("x went backwards at %d: %v", i, positions)
+		}
+	}
+}
+
+func TestMoverStopsEarly(t *testing.T) {
+	k := sim.New(1)
+	path := geo.Path{Waypoints: []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0)}, SpeedMPS: 1}
+	var last geo.Point
+	m := Start(k, path, sim.Second, func(p geo.Point) { last = p })
+	arrived := false
+	m.OnArrive = func() { arrived = true }
+	k.RunUntil(10 * sim.Second)
+	m.Stop()
+	k.RunUntil(200 * sim.Second)
+	if arrived {
+		t.Fatal("OnArrive fired after Stop")
+	}
+	if last.X > 11 {
+		t.Fatalf("mover kept moving after Stop: %v", last)
+	}
+	if !m.Done() {
+		t.Fatal("stopped mover not done")
+	}
+	m.Stop() // idempotent
+}
+
+func TestProgress(t *testing.T) {
+	k := sim.New(1)
+	path := geo.Path{Waypoints: []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0)}, SpeedMPS: 1}
+	m := Start(k, path, sim.Second, nil)
+	if p := m.Progress(); p != 0 {
+		t.Fatalf("initial progress = %v", p)
+	}
+	k.RunUntil(5 * sim.Second)
+	if p := m.Progress(); math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("mid progress = %v", p)
+	}
+	k.RunUntil(sim.Minute)
+	if p := m.Progress(); p != 1 {
+		t.Fatalf("final progress = %v", p)
+	}
+}
+
+func TestStationaryPathArrivesImmediately(t *testing.T) {
+	k := sim.New(1)
+	m := Start(k, geo.Path{Waypoints: []geo.Point{geo.Pt(3, 3)}, SpeedMPS: 1}, 0, nil)
+	arrived := false
+	m.OnArrive = func() { arrived = true }
+	k.RunUntil(sim.Second)
+	if !arrived {
+		t.Fatal("stationary mover never arrived")
+	}
+	if m.Progress() != 1 {
+		t.Fatalf("progress = %v", m.Progress())
+	}
+}
+
+func TestDefaultTickUsed(t *testing.T) {
+	k := sim.New(1)
+	samples := 0
+	path := geo.Path{Waypoints: []geo.Point{geo.Pt(0, 0), geo.Pt(2, 0)}, SpeedMPS: 1}
+	Start(k, path, 0, func(geo.Point) { samples++ })
+	k.RunUntil(2 * sim.Second)
+	// 2 s at 200 ms ticks plus the initial sample: ~11.
+	if samples < 8 || samples > 14 {
+		t.Fatalf("samples = %d with default tick", samples)
+	}
+}
+
+func TestRandomWaypointInBounds(t *testing.T) {
+	k := sim.New(9)
+	bounds := geo.RectAt(10, 20, 30, 40)
+	path := RandomWaypoint(k, bounds, 20, 1.5)
+	if len(path.Waypoints) != 21 {
+		t.Fatalf("waypoints = %d", len(path.Waypoints))
+	}
+	for i, p := range path.Waypoints {
+		if !bounds.Contains(p) {
+			t.Fatalf("waypoint %d out of bounds: %v", i, p)
+		}
+	}
+	if path.SpeedMPS != 1.5 {
+		t.Fatal("speed lost")
+	}
+	// Deterministic per seed.
+	k2 := sim.New(9)
+	path2 := RandomWaypoint(k2, bounds, 20, 1.5)
+	for i := range path.Waypoints {
+		if path.Waypoints[i] != path2.Waypoints[i] {
+			t.Fatal("random waypoint not deterministic")
+		}
+	}
+}
+
+func TestRandomWaypointMinimumLegs(t *testing.T) {
+	k := sim.New(1)
+	path := RandomWaypoint(k, geo.RectAt(0, 0, 10, 10), 0, 1)
+	if len(path.Waypoints) != 2 {
+		t.Fatalf("waypoints = %d, want 2", len(path.Waypoints))
+	}
+}
+
+func TestPatrolClosesLoop(t *testing.T) {
+	wps := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10)}
+	path := Patrol(wps, 2)
+	if len(path.Waypoints) != 4 {
+		t.Fatalf("waypoints = %d", len(path.Waypoints))
+	}
+	if path.Waypoints[3] != wps[0] {
+		t.Fatal("loop not closed")
+	}
+	if Patrol(nil, 1).TotalLength() != 0 {
+		t.Fatal("empty patrol should be empty")
+	}
+}
+
+func TestMoverString(t *testing.T) {
+	k := sim.New(1)
+	m := Start(k, geo.Path{Waypoints: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}, SpeedMPS: 1}, 0, nil)
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"aroma/internal/env"
+	"aroma/internal/geo"
+	"aroma/internal/mac"
+	"aroma/internal/radio"
+	"aroma/internal/sim"
+)
+
+// testNet builds n nodes in a row 4 m apart on channel 6.
+func testNet(seed int64, n int) (*sim.Kernel, *Network, []*Node) {
+	k := sim.New(seed)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 500, 100)))
+	med := radio.NewMedium(k, e)
+	m := mac.New(med, mac.Config{})
+	nw := New(m)
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		st := m.AddStation(med.NewRadio("r", geo.Pt(float64(4*i), 0), 6, 15))
+		nodes[i] = nw.NewNode("node", st)
+	}
+	return k, nw, nodes
+}
+
+func TestDatagramDelivery(t *testing.T) {
+	k, _, nodes := testNet(1, 2)
+	var got []byte
+	var from Addr
+	nodes[1].Handle(PortDynamic, func(src Addr, data []byte) { got = data; from = src })
+	nodes[0].SendDatagram(nodes[1].Addr(), PortDynamic, []byte("ping"))
+	k.Run()
+	if string(got) != "ping" || from != nodes[0].Addr() {
+		t.Fatalf("got %q from %d", got, from)
+	}
+}
+
+func TestPortDemux(t *testing.T) {
+	k, _, nodes := testNet(1, 2)
+	a, b := 0, 0
+	nodes[1].Handle(PortDynamic, func(Addr, []byte) { a++ })
+	nodes[1].Handle(PortDynamic+1, func(Addr, []byte) { b++ })
+	nodes[0].SendDatagram(nodes[1].Addr(), PortDynamic, nil)
+	nodes[0].SendDatagram(nodes[1].Addr(), PortDynamic+1, nil)
+	nodes[0].SendDatagram(nodes[1].Addr(), PortDynamic+1, nil)
+	k.Run()
+	if a != 1 || b != 2 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+}
+
+func TestUnhandledPortDropped(t *testing.T) {
+	k, _, nodes := testNet(1, 2)
+	nodes[0].SendDatagram(nodes[1].Addr(), 999, []byte("x"))
+	k.Run() // must not panic
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	k, _, nodes := testNet(2, 2)
+	big := make([]byte, 10_000)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	var got []byte
+	nodes[1].Handle(PortDynamic, func(_ Addr, data []byte) { got = data })
+	nodes[0].SendDatagram(nodes[1].Addr(), PortDynamic, big)
+	k.Run()
+	if !bytes.Equal(got, big) {
+		t.Fatalf("fragmented payload corrupted: len=%d want %d", len(got), len(big))
+	}
+}
+
+func TestSmallMTUFragmentation(t *testing.T) {
+	k, _, nodes := testNet(3, 2)
+	nodes[0].MTU = 10
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	var got []byte
+	nodes[1].Handle(PortDynamic, func(_ Addr, data []byte) { got = data })
+	nodes[0].SendDatagram(nodes[1].Addr(), PortDynamic, payload)
+	k.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMulticastMembership(t *testing.T) {
+	k, _, nodes := testNet(4, 4)
+	const g Group = 7
+	counts := make([]int, 4)
+	for i := 1; i < 4; i++ {
+		i := i
+		nodes[i].Handle(PortDiscovery, func(Addr, []byte) { counts[i]++ })
+	}
+	nodes[1].Join(g)
+	nodes[2].Join(g)
+	// node 3 does not join.
+	nodes[0].SendMulticast(g, PortDiscovery, []byte("announce"))
+	k.Run()
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("members missed multicast: %v", counts)
+	}
+	if counts[3] != 0 {
+		t.Fatalf("non-member received multicast: %v", counts)
+	}
+	if !nodes[1].Member(g) || nodes[3].Member(g) {
+		t.Fatal("membership predicates wrong")
+	}
+	nodes[1].Leave(g)
+	if nodes[1].Member(g) {
+		t.Fatal("Leave did not take")
+	}
+}
+
+func TestCallResponse(t *testing.T) {
+	k, nw, nodes := testNet(5, 2)
+	nodes[1].HandleRequest(PortControl, func(src Addr, data []byte) []byte {
+		return append([]byte("echo:"), data...)
+	})
+	var resp []byte
+	var callErr error
+	nodes[0].Call(nodes[1].Addr(), PortControl, []byte("hi"), 0, func(r []byte, err error) {
+		resp, callErr = r, err
+	})
+	k.Run()
+	if callErr != nil {
+		t.Fatal(callErr)
+	}
+	if string(resp) != "echo:hi" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if nw.CallsCompleted != 1 || nw.CallsTimedOut != 0 {
+		t.Fatalf("stats: completed=%d timedout=%d", nw.CallsCompleted, nw.CallsTimedOut)
+	}
+	if nodes[0].PendingCalls() != 0 {
+		t.Fatal("pending call leaked")
+	}
+}
+
+func TestCallTimeoutOnUnservedPort(t *testing.T) {
+	k, nw, nodes := testNet(6, 2)
+	var callErr error
+	nodes[0].Call(nodes[1].Addr(), PortControl, []byte("hi"), sim.Second, func(r []byte, err error) {
+		callErr = err
+	})
+	k.Run()
+	if !errors.Is(callErr, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", callErr)
+	}
+	if nw.CallsTimedOut != 1 {
+		t.Fatalf("timeouts = %d", nw.CallsTimedOut)
+	}
+}
+
+func TestCallFailsFastOnDeadLink(t *testing.T) {
+	// Peer is far out of radio range: the MAC gives up and the call
+	// should fail with a link error well before the (long) timeout.
+	k := sim.New(7)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 10000, 100)))
+	med := radio.NewMedium(k, e)
+	m := mac.New(med, mac.Config{})
+	nw := New(m)
+	a := nw.NewNode("a", m.AddStation(med.NewRadio("a", geo.Pt(0, 0), 6, 15)))
+	b := nw.NewNode("b", m.AddStation(med.NewRadio("b", geo.Pt(9000, 0), 6, 15)))
+	var callErr error
+	failedAt := sim.Time(0)
+	a.Call(b.Addr(), PortControl, []byte("hi"), sim.Hour, func(r []byte, err error) {
+		callErr = err
+		failedAt = k.Now()
+	})
+	k.Run()
+	if !errors.Is(callErr, ErrLinkFailed) {
+		t.Fatalf("err = %v, want link failure", callErr)
+	}
+	if failedAt >= sim.Hour {
+		t.Fatalf("fail-fast took %v", failedAt)
+	}
+	if nw.CallsTimedOut != 1 {
+		t.Fatalf("timeouts = %d", nw.CallsTimedOut)
+	}
+}
+
+func TestConcurrentCallsKeptSeparate(t *testing.T) {
+	k, _, nodes := testNet(8, 3)
+	nodes[2].HandleRequest(PortControl, func(src Addr, data []byte) []byte {
+		return append([]byte{data[0]}, 'R')
+	})
+	got := map[byte]string{}
+	for i, n := range []*Node{nodes[0], nodes[1]} {
+		tag := byte('A' + i)
+		n.Call(nodes[2].Addr(), PortControl, []byte{tag}, 0, func(r []byte, err error) {
+			if err == nil {
+				got[tag] = string(r)
+			}
+		})
+	}
+	k.Run()
+	if got['A'] != "AR" || got['B'] != "BR" {
+		t.Fatalf("responses mismatched: %v", got)
+	}
+}
+
+func TestNilResponseOK(t *testing.T) {
+	k, _, nodes := testNet(9, 2)
+	nodes[1].HandleRequest(PortControl, func(Addr, []byte) []byte { return nil })
+	responded := false
+	var gotErr error
+	nodes[0].Call(nodes[1].Addr(), PortControl, []byte("x"), 0, func(r []byte, err error) {
+		responded = true
+		gotErr = err
+	})
+	k.Run()
+	if !responded || gotErr != nil {
+		t.Fatalf("responded=%v err=%v", responded, gotErr)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	_, nw, nodes := testNet(10, 1)
+	if nodes[0].Name() != "node" || nodes[0].Station() == nil {
+		t.Fatal("accessors wrong")
+	}
+	if nw.Kernel() == nil || nw.MAC() == nil {
+		t.Fatal("network accessors wrong")
+	}
+}

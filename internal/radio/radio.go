@@ -1,0 +1,337 @@
+// Package radio simulates the physical wireless layer of the Aroma
+// testbed: 2.4 GHz ISM-band transceivers (the paper's "2.4 GHz wireless
+// LAN PCMCIA card") on a shared medium.
+//
+// The model captures the environment- and physical-layer phenomena the
+// paper calls out: limited bandwidth, ranging by received signal strength,
+// co- and adjacent-channel interference, and congestion collapse as the
+// concentration of devices in the band grows (the paper: "the effect of a
+// high concentration of these devices needs to be studied").
+//
+// A Medium owns the set of attached Radios and the in-flight
+// Transmissions. Delivery is SINR-based: a frame is decoded by a receiver
+// if the signal-to-interference-plus-noise ratio stays above the threshold
+// for the transmission's bit rate, where interference sums the power of
+// every time-overlapping transmission weighted by spectral channel
+// overlap.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"aroma/internal/env"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+// Channel numbering follows 802.11b North America: 1..11, 5 MHz apart,
+// 22 MHz wide, so channels closer than 5 apart partially overlap.
+const (
+	MinChannel = 1
+	MaxChannel = 11
+)
+
+// SensingDelay is the time after a transmission starts before other
+// stations' carrier sense can detect it (propagation plus energy-detect
+// integration). Transmissions younger than this are invisible to
+// EnergyAtDBm/Busy, which creates the CSMA vulnerable window: stations
+// that decide to transmit within the same window collide, exactly as in
+// real 802.11 DCF.
+const SensingDelay = 15 * sim.Microsecond
+
+// Rate is one step of the 802.11b-era rate set.
+type Rate struct {
+	Mbps      float64
+	MinSINRdB float64 // decode threshold
+}
+
+// Rates is the available rate set, ascending. The thresholds follow
+// typical 802.11b receiver sensitivity ladders.
+var Rates = []Rate{
+	{1, 4},
+	{2, 7},
+	{5.5, 9},
+	{11, 12},
+}
+
+// PickRate returns the fastest rate whose decode threshold is at or below
+// the given SINR, or the base rate if none qualifies (the sender will try
+// and likely fail, as real rate-fallback schemes do on stale state).
+func PickRate(sinrDB float64) Rate {
+	best := Rates[0]
+	for _, r := range Rates {
+		if sinrDB >= r.MinSINRdB {
+			best = r
+		}
+	}
+	return best
+}
+
+// ChannelOverlap returns the fraction of transmit power from a sender on
+// channel a that lands in a receiver's filter on channel b. Values follow
+// the measured 802.11b spectral-mask overlap ladder.
+func ChannelOverlap(a, b int) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	switch d {
+	case 0:
+		return 1.0
+	case 1:
+		return 0.7272
+	case 2:
+		return 0.2714
+	case 3:
+		return 0.0375
+	case 4:
+		return 0.0054
+	default:
+		return 0
+	}
+}
+
+// Transmission is one frame in flight on the medium.
+type Transmission struct {
+	Seq     uint64
+	Src     *Radio
+	Bits    int
+	Rate    Rate
+	Start   sim.Time
+	End     sim.Time
+	payload any
+	// interferenceMW accumulates, per prospective receiver radio ID, the
+	// worst-case interference power observed while this transmission was
+	// in the air.
+	interferenceMW map[int]float64
+}
+
+// Payload returns the opaque payload attached at Transmit time.
+func (t *Transmission) Payload() any { return t.payload }
+
+// Airtime returns the duration the transmission occupies the medium.
+func (t *Transmission) Airtime() sim.Time { return t.End - t.Start }
+
+// Receipt describes the outcome of a transmission at one receiver.
+type Receipt struct {
+	Tx      *Transmission
+	RSSIdBm float64
+	SINRdB  float64
+	OK      bool // decoded successfully
+}
+
+// Radio is one transceiver attached to a Medium.
+type Radio struct {
+	ID         int
+	Name       string
+	Pos        geo.Point
+	Channel    int
+	TxPowerDBm float64
+
+	// CSThresholdDBm is the carrier-sense energy-detect threshold; the
+	// medium reports busy to this radio when total in-band energy at its
+	// position exceeds it.
+	CSThresholdDBm float64
+
+	// OnReceive, if non-nil, is invoked for every transmission that ends
+	// while this radio is attached and not the sender, whether or not it
+	// decoded (Receipt.OK tells which). Sender excluded.
+	OnReceive func(Receipt)
+
+	medium *Medium
+}
+
+// Medium is the shared 2.4 GHz band.
+type Medium struct {
+	kernel *sim.Kernel
+	env    *env.Environment
+
+	radios map[int]*Radio
+	active map[uint64]*Transmission
+	nextID int
+	seq    uint64
+
+	// Stats
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64
+}
+
+// NewMedium creates an empty medium over the given environment.
+func NewMedium(k *sim.Kernel, e *env.Environment) *Medium {
+	return &Medium{
+		kernel: k,
+		env:    e,
+		radios: make(map[int]*Radio),
+		active: make(map[uint64]*Transmission),
+	}
+}
+
+// Kernel returns the owning simulation kernel.
+func (m *Medium) Kernel() *sim.Kernel { return m.kernel }
+
+// Env returns the propagation environment.
+func (m *Medium) Env() *env.Environment { return m.env }
+
+// NewRadio creates, attaches and returns a radio. Channel is clamped to
+// the legal range.
+func (m *Medium) NewRadio(name string, pos geo.Point, channel int, txPowerDBm float64) *Radio {
+	if channel < MinChannel {
+		channel = MinChannel
+	}
+	if channel > MaxChannel {
+		channel = MaxChannel
+	}
+	m.nextID++
+	r := &Radio{
+		ID:             m.nextID,
+		Name:           name,
+		Pos:            pos,
+		Channel:        channel,
+		TxPowerDBm:     txPowerDBm,
+		CSThresholdDBm: -82,
+		medium:         m,
+	}
+	m.radios[r.ID] = r
+	return r
+}
+
+// Detach removes a radio from the medium; in-flight transmissions to it
+// are not delivered.
+func (m *Medium) Detach(r *Radio) { delete(m.radios, r.ID) }
+
+// Radios returns the number of attached radios.
+func (m *Medium) Radios() int { return len(m.radios) }
+
+// EnergyAtDBm returns the total in-band energy a radio currently senses:
+// the channel-overlap-weighted sum of all active transmissions' received
+// power at the radio's position, plus the noise floor.
+func (m *Medium) EnergyAtDBm(r *Radio) float64 {
+	total := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
+	now := m.kernel.Now()
+	for _, tx := range m.active {
+		if tx.Src.ID == r.ID {
+			continue
+		}
+		if now-tx.Start < SensingDelay {
+			continue // within the vulnerable window: not yet detectable
+		}
+		ov := ChannelOverlap(tx.Src.Channel, r.Channel)
+		if ov == 0 {
+			continue
+		}
+		rx := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, r.Pos)
+		total += env.DBmToMilliwatts(rx) * ov
+	}
+	return env.MilliwattsToDBm(total)
+}
+
+// Busy reports whether the radio's carrier sense sees the medium busy.
+func (m *Medium) Busy(r *Radio) bool {
+	return m.EnergyAtDBm(r) > r.CSThresholdDBm
+}
+
+// SNRAtDBm returns the signal-to-noise ratio (no interference) a receiver
+// would see for a transmission from src, used for rate selection.
+func (m *Medium) SNRAtDBm(src, dst *Radio) float64 {
+	rx := m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, dst.Pos)
+	return rx - m.env.NoiseFloorDBm()
+}
+
+// MeasureRSSI returns the received power at dst for a probe from src —
+// the primitive on which RSSI ranging is built.
+func (m *Medium) MeasureRSSI(src, dst *Radio) float64 {
+	return m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, dst.Pos)
+}
+
+// ErrZeroBits is returned by Transmit for an empty frame.
+var ErrZeroBits = errors.New("radio: transmission must carry at least one bit")
+
+// Transmit puts a frame on the air from r. The frame occupies the medium
+// for bits/rate seconds; when it ends, every other attached radio's
+// OnReceive fires with a Receipt. The payload is carried opaquely.
+func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmission, error) {
+	if bits <= 0 {
+		return nil, ErrZeroBits
+	}
+	if _, ok := m.radios[r.ID]; !ok {
+		return nil, fmt.Errorf("radio: %s not attached", r.Name)
+	}
+	airSeconds := float64(bits) / (rate.Mbps * 1e6)
+	now := m.kernel.Now()
+	m.seq++
+	tx := &Transmission{
+		Seq:            m.seq,
+		Src:            r,
+		Bits:           bits,
+		Rate:           rate,
+		Start:          now,
+		End:            now + sim.Time(airSeconds*float64(sim.Second)),
+		payload:        payload,
+		interferenceMW: make(map[int]float64),
+	}
+	// Record mutual interference with all currently active transmissions.
+	for _, other := range m.active {
+		m.recordInterference(tx, other)
+		m.recordInterference(other, tx)
+	}
+	m.active[tx.Seq] = tx
+	m.Sent++
+	m.kernel.Schedule(tx.End-now, "radio.txEnd", func() { m.finish(tx) })
+	return tx, nil
+}
+
+// recordInterference adds other's power into victim's per-receiver
+// interference ledger.
+func (m *Medium) recordInterference(victim, other *Transmission) {
+	for id, rx := range m.radios {
+		if id == victim.Src.ID || id == other.Src.ID {
+			continue
+		}
+		ov := ChannelOverlap(other.Src.Channel, rx.Channel)
+		if ov == 0 {
+			continue
+		}
+		p := env.DBmToMilliwatts(m.env.ReceivedPowerDBm(other.Src.TxPowerDBm, other.Src.Pos, rx.Pos)) * ov
+		victim.interferenceMW[id] += p
+	}
+}
+
+// finish delivers a completed transmission to every attached radio.
+func (m *Medium) finish(tx *Transmission) {
+	delete(m.active, tx.Seq)
+	noiseMW := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
+	for id, rx := range m.radios {
+		if id == tx.Src.ID || rx.OnReceive == nil {
+			continue
+		}
+		ov := ChannelOverlap(tx.Src.Channel, rx.Channel)
+		if ov == 0 {
+			continue
+		}
+		rssi := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, rx.Pos)
+		sigMW := env.DBmToMilliwatts(rssi) * ov
+		intMW := tx.interferenceMW[id]
+		sinr := 10 * math.Log10(sigMW/(noiseMW+intMW))
+		ok := sinr >= tx.Rate.MinSINRdB
+		if ok {
+			m.Delivered++
+		} else {
+			m.Lost++
+		}
+		rx.OnReceive(Receipt{Tx: tx, RSSIdBm: rssi, SINRdB: sinr, OK: ok})
+	}
+}
+
+// ActiveTransmissions returns the number of frames currently in the air.
+func (m *Medium) ActiveTransmissions() int { return len(m.active) }
+
+// EstimateDistance performs RSSI ranging from src to dst: it measures the
+// received power and inverts the free-space-with-exponent model. Walls and
+// shadowing corrupt the estimate, reproducing experiment C8.
+func (m *Medium) EstimateDistance(src, dst *Radio) float64 {
+	rssi := m.MeasureRSSI(src, dst)
+	return m.env.EstimateDistanceFromRSSI(src.TxPowerDBm, rssi)
+}

@@ -1,0 +1,282 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"aroma/internal/env"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+func newMedium(seed int64) (*sim.Kernel, *Medium) {
+	k := sim.New(seed)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 100, 100)))
+	return k, NewMedium(k, e)
+}
+
+func TestPickRate(t *testing.T) {
+	if r := PickRate(50); r.Mbps != 11 {
+		t.Fatalf("high SNR rate = %v", r.Mbps)
+	}
+	if r := PickRate(8); r.Mbps != 2 {
+		t.Fatalf("8 dB rate = %v", r.Mbps)
+	}
+	if r := PickRate(-5); r.Mbps != 1 {
+		t.Fatalf("low SNR rate = %v", r.Mbps)
+	}
+	if r := PickRate(9); r.Mbps != 5.5 {
+		t.Fatalf("9 dB rate = %v", r.Mbps)
+	}
+}
+
+func TestChannelOverlap(t *testing.T) {
+	if ChannelOverlap(6, 6) != 1 {
+		t.Fatal("co-channel overlap != 1")
+	}
+	if ChannelOverlap(1, 6) != 0 || ChannelOverlap(1, 11) != 0 {
+		t.Fatal("orthogonal channels should not overlap")
+	}
+	if ChannelOverlap(1, 2) != ChannelOverlap(2, 1) {
+		t.Fatal("overlap not symmetric")
+	}
+	prev := 1.1
+	for d := 0; d <= 5; d++ {
+		ov := ChannelOverlap(1, 1+d)
+		if ov >= prev {
+			t.Fatalf("overlap not decreasing at distance %d", d)
+		}
+		prev = ov
+	}
+}
+
+func TestChannelClamping(t *testing.T) {
+	_, m := newMedium(1)
+	lo := m.NewRadio("lo", geo.Pt(0, 0), -3, 15)
+	hi := m.NewRadio("hi", geo.Pt(0, 0), 99, 15)
+	if lo.Channel != MinChannel || hi.Channel != MaxChannel {
+		t.Fatalf("channels not clamped: %d, %d", lo.Channel, hi.Channel)
+	}
+}
+
+func TestTransmitDelivers(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(5, 0), 6, 15)
+	var got []Receipt
+	b.OnReceive = func(r Receipt) { got = append(got, r) }
+	tx, err := m.Transmit(a, 8000, PickRate(m.SNRAtDBm(a, b)), "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("receipts = %d, want 1", len(got))
+	}
+	r := got[0]
+	if !r.OK {
+		t.Fatalf("close-range frame not decoded: SINR=%v", r.SINRdB)
+	}
+	if r.Tx != tx || r.Tx.Payload() != "hello" {
+		t.Fatal("wrong transmission or payload")
+	}
+	if m.Delivered != 1 || m.Lost != 0 || m.Sent != 1 {
+		t.Fatalf("stats = sent %d delivered %d lost %d", m.Sent, m.Delivered, m.Lost)
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	m.NewRadio("b", geo.Pt(5, 0), 6, 15)
+	tx, err := m.Transmit(a, 11_000_000, Rate{11, 12}, nil) // 1 second at 11 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at := tx.Airtime(); at != sim.Second {
+		t.Fatalf("airtime = %v, want 1s", at)
+	}
+	k.Run()
+	if k.Now() != sim.Second {
+		t.Fatalf("clock = %v", k.Now())
+	}
+}
+
+func TestSenderDoesNotReceiveOwnFrame(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	selfRx := false
+	a.OnReceive = func(Receipt) { selfRx = true }
+	if _, err := m.Transmit(a, 100, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if selfRx {
+		t.Fatal("sender received its own frame")
+	}
+}
+
+func TestFarReceiverFailsToDecode(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(95, 95), 6, 15)
+	var r *Receipt
+	b.OnReceive = func(rc Receipt) { r = &rc }
+	// Force the highest rate regardless of SNR: should fail at ~134 m.
+	if _, err := m.Transmit(a, 8000, Rate{11, 12}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if r == nil {
+		t.Fatal("no receipt")
+	}
+	if r.OK {
+		t.Fatalf("distant 11 Mbps frame decoded: SINR=%v", r.SINRdB)
+	}
+	if m.Lost != 1 {
+		t.Fatalf("lost = %d", m.Lost)
+	}
+}
+
+func TestCollisionCausesLoss(t *testing.T) {
+	k, m := newMedium(1)
+	// Two senders equidistant from the receiver on the same channel:
+	// SINR ~ 0 dB, below every threshold.
+	a := m.NewRadio("a", geo.Pt(0, 50), 6, 15)
+	c := m.NewRadio("c", geo.Pt(100, 50), 6, 15)
+	b := m.NewRadio("b", geo.Pt(50, 50), 6, 15)
+	oks := 0
+	fails := 0
+	b.OnReceive = func(r Receipt) {
+		if r.OK {
+			oks++
+		} else {
+			fails++
+		}
+	}
+	if _, err := m.Transmit(a, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transmit(c, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if oks != 0 || fails != 2 {
+		t.Fatalf("collision outcome: ok=%d fail=%d, want 0/2", oks, fails)
+	}
+}
+
+func TestOrthogonalChannelsDoNotCollide(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(45, 50), 1, 15)
+	c := m.NewRadio("c", geo.Pt(55, 50), 11, 15)
+	b1 := m.NewRadio("b1", geo.Pt(44, 50), 1, 15)
+	b2 := m.NewRadio("b2", geo.Pt(56, 50), 11, 15)
+	ok1, ok2 := false, false
+	b1.OnReceive = func(r Receipt) { ok1 = r.OK }
+	b2.OnReceive = func(r Receipt) { ok2 = r.OK }
+	if _, err := m.Transmit(a, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transmit(c, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !ok1 || !ok2 {
+		t.Fatalf("orthogonal channels interfered: ok1=%v ok2=%v", ok1, ok2)
+	}
+}
+
+func TestAdjacentChannelPartialInterference(t *testing.T) {
+	// An adjacent-channel (d=1) interferer leaks 73% of its power; a d=5
+	// interferer leaks none. The adjacent case should produce lower SINR.
+	run := func(interfererChannel int) float64 {
+		k, m := newMedium(1)
+		a := m.NewRadio("a", geo.Pt(48, 50), 6, 15)
+		b := m.NewRadio("b", geo.Pt(52, 50), 6, 15)
+		i := m.NewRadio("i", geo.Pt(60, 50), interfererChannel, 15)
+		var sinr float64
+		b.OnReceive = func(r Receipt) {
+			if r.Tx.Src.ID == a.ID {
+				sinr = r.SINRdB
+			}
+		}
+		if _, err := m.Transmit(i, 80000, Rates[0], nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Transmit(a, 8000, Rates[3], nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return sinr
+	}
+	adj := run(7)
+	far := run(11)
+	if adj >= far {
+		t.Fatalf("adjacent-channel SINR %v should be below orthogonal %v", adj, far)
+	}
+}
+
+func TestBusyCarrierSense(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(5, 0), 6, 15)
+	if m.Busy(b) {
+		t.Fatal("idle medium reported busy")
+	}
+	if _, err := m.Transmit(a, 1_000_000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	// Within the sensing delay the transmission is not yet detectable.
+	if m.Busy(b) {
+		t.Fatal("carrier sense detected a transmission inside the vulnerable window")
+	}
+	k.RunUntil(k.Now() + 2*SensingDelay)
+	if !m.Busy(b) {
+		t.Fatal("medium with active close transmission reported idle")
+	}
+	if m.ActiveTransmissions() != 1 {
+		t.Fatalf("active = %d", m.ActiveTransmissions())
+	}
+	k.Run()
+	if m.Busy(b) {
+		t.Fatal("medium busy after all transmissions ended")
+	}
+}
+
+func TestZeroBitsRejected(t *testing.T) {
+	_, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	if _, err := m.Transmit(a, 0, Rates[0], nil); err == nil {
+		t.Fatal("zero-bit transmission accepted")
+	}
+}
+
+func TestDetachedRadioRejected(t *testing.T) {
+	_, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	m.Detach(a)
+	if _, err := m.Transmit(a, 100, Rates[0], nil); err == nil {
+		t.Fatal("detached radio transmitted")
+	}
+}
+
+func TestRangingAccuracy(t *testing.T) {
+	_, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(12, 0), 6, 15)
+	est := m.EstimateDistance(a, b)
+	if math.Abs(est-12) > 0.01 {
+		t.Fatalf("ranging estimate = %v, want 12", est)
+	}
+}
+
+func TestSNRDecreasesWithDistance(t *testing.T) {
+	_, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	near := m.NewRadio("n", geo.Pt(3, 0), 6, 15)
+	far := m.NewRadio("f", geo.Pt(60, 0), 6, 15)
+	if m.SNRAtDBm(a, near) <= m.SNRAtDBm(a, far) {
+		t.Fatal("SNR should fall with distance")
+	}
+}

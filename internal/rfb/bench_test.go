@@ -1,0 +1,92 @@
+package rfb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchFB(b *testing.B, noisy bool) *Framebuffer {
+	b.Helper()
+	fb, err := NewFramebuffer(640, 480)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if noisy {
+		rng := rand.New(rand.NewSource(1))
+		for y := 0; y < fb.H; y++ {
+			for x := 0; x < fb.W; x++ {
+				fb.Set(x, y, uint8(rng.Intn(256)))
+			}
+		}
+	} else {
+		fb.Fill(0, 0, fb.W, fb.H, 7)
+	}
+	return fb
+}
+
+func BenchmarkEncodeFullFrameRaw(b *testing.B) {
+	fb := benchFB(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.MarkAllDirty()
+		u := MakeUpdate(fb, uint32(i), EncRaw)
+		if len(u.Tiles) == 0 {
+			b.Fatal("no tiles")
+		}
+	}
+}
+
+func BenchmarkEncodeFullFrameRLEFlat(b *testing.B) {
+	fb := benchFB(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.MarkAllDirty()
+		MakeUpdate(fb, uint32(i), EncRLE)
+	}
+}
+
+func BenchmarkEncodeFullFrameRLENoisy(b *testing.B) {
+	fb := benchFB(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.MarkAllDirty()
+		MakeUpdate(fb, uint32(i), EncRLE)
+	}
+}
+
+func BenchmarkUpdateMarshalUnmarshalApply(b *testing.B) {
+	src := benchFB(b, true)
+	src.MarkAllDirty()
+	u := MakeUpdate(src, 1, EncRLE)
+	wire := u.Marshal()
+	dst := benchFB(b, false)
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := UnmarshalUpdate(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Apply(dst, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnimatorStep(b *testing.B) {
+	fb := benchFB(b, false)
+	a, err := NewAnimator(fb, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Textured = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Step()
+	}
+}

@@ -1,0 +1,240 @@
+package rfb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"aroma/internal/netsim"
+	"aroma/internal/sim"
+)
+
+// Request opcodes on the RFB port.
+const (
+	reqIncremental byte = 0
+	reqFull        byte = 1
+)
+
+// Server exports a framebuffer over the network on netsim.PortRFB: the
+// projection side of the Smart Projector (the laptop's VNC server).
+type Server struct {
+	node   *netsim.Node
+	fb     *Framebuffer
+	enc    Encoding
+	serial uint32
+
+	// Stats
+	UpdatesServed uint64
+	BytesServed   uint64
+	TilesServed   uint64
+}
+
+// NewServer attaches an RFB server for fb to the node. enc is the
+// preferred tile encoding.
+func NewServer(node *netsim.Node, fb *Framebuffer, enc Encoding) *Server {
+	s := &Server{node: node, fb: fb, enc: enc}
+	node.HandleRequest(netsim.PortRFB, s.serve)
+	return s
+}
+
+// Framebuffer returns the served framebuffer (the "screen" applications
+// draw on).
+func (s *Server) Framebuffer() *Framebuffer { return s.fb }
+
+func (s *Server) serve(src netsim.Addr, req []byte) []byte {
+	if len(req) != 1 {
+		return (&Update{}).Marshal()
+	}
+	if req[0] == reqFull {
+		s.fb.MarkAllDirty()
+	}
+	s.serial++
+	u := MakeUpdate(s.fb, s.serial, s.enc)
+	data := u.Marshal()
+	s.UpdatesServed++
+	s.BytesServed += uint64(len(data))
+	s.TilesServed += uint64(len(u.Tiles))
+	return data
+}
+
+// Client is the display side (the Aroma adapter driving the projector):
+// it pulls updates from a Server and maintains a local framebuffer copy.
+type Client struct {
+	node   *netsim.Node
+	server netsim.Addr
+	fb     *Framebuffer
+
+	// Stats
+	UpdatesApplied uint64
+	TilesApplied   uint64
+	BytesReceived  uint64
+	Errors         uint64
+}
+
+// NewClient creates a client with a local w×h framebuffer, pulling from
+// the server at the given address.
+func NewClient(node *netsim.Node, server netsim.Addr, w, h int) (*Client, error) {
+	fb, err := NewFramebuffer(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{node: node, server: server, fb: fb}, nil
+}
+
+// Framebuffer returns the client's local copy (what the projector shows).
+func (c *Client) Framebuffer() *Framebuffer { return c.fb }
+
+// RequestUpdate pulls one update. If full, the server resends every tile.
+// done (optional) receives the applied update or an error.
+func (c *Client) RequestUpdate(full bool, timeout sim.Time, done func(*Update, error)) {
+	op := reqIncremental
+	if full {
+		op = reqFull
+	}
+	c.node.Call(c.server, netsim.PortRFB, []byte{op}, timeout, func(resp []byte, err error) {
+		if err != nil {
+			c.Errors++
+			if done != nil {
+				done(nil, err)
+			}
+			return
+		}
+		u, err := UnmarshalUpdate(resp)
+		if err != nil {
+			c.Errors++
+			if done != nil {
+				done(nil, err)
+			}
+			return
+		}
+		if err := Apply(c.fb, u); err != nil {
+			c.Errors++
+			if done != nil {
+				done(nil, err)
+			}
+			return
+		}
+		c.UpdatesApplied++
+		c.TilesApplied += uint64(len(u.Tiles))
+		c.BytesReceived += uint64(len(resp))
+		if done != nil {
+			done(u, nil)
+		}
+	})
+}
+
+// ErrStopped reports that a streaming loop was stopped.
+var ErrStopped = errors.New("rfb: streaming stopped")
+
+// IdlePollDelay is how long Stream waits before re-polling after an
+// empty update. Real VNC servers defer the reply until the framebuffer
+// changes; the delayed re-poll approximates that without burning the
+// wireless medium on empty round trips.
+const IdlePollDelay = 50 * sim.Millisecond
+
+// Stream continuously pulls updates, back-to-back while content flows
+// (the VNC flow-control model) and at IdlePollDelay intervals while the
+// screen is static. It returns a stop function. onFrame (optional)
+// observes each applied update, including empty ones.
+func (c *Client) Stream(timeout sim.Time, onFrame func(*Update)) (stop func()) {
+	stopped := false
+	k := c.node.Kernel()
+	var loop func()
+	loop = func() {
+		if stopped {
+			return
+		}
+		c.RequestUpdate(false, timeout, func(u *Update, err error) {
+			if stopped {
+				return
+			}
+			if err == nil && onFrame != nil {
+				onFrame(u)
+			}
+			if err == nil && len(u.Tiles) == 0 {
+				k.Schedule(IdlePollDelay, "rfb.idlePoll", loop)
+				return
+			}
+			// Content flowed (or the request failed): re-poll at once.
+			loop()
+		})
+	}
+	loop()
+	return func() { stopped = true }
+}
+
+// Animator mutates a framebuffer to simulate screen activity: a moving
+// filled square ("the presentation's animation") whose size sets the
+// fraction of the screen that changes per frame — the intensity knob of
+// experiment C1.
+type Animator struct {
+	fb     *Framebuffer
+	side   int
+	x, y   int
+	dx, dy int
+	color  uint8
+	Steps  uint64
+
+	// Textured draws a per-pixel pattern instead of a solid square,
+	// modelling photographic/video content that run-length encoding
+	// cannot compress (the honest arm for the bandwidth experiment).
+	Textured bool
+}
+
+// NewAnimator creates an animator whose moving square covers roughly
+// intensity (0..1] of the framebuffer area.
+func NewAnimator(fb *Framebuffer, intensity float64) (*Animator, error) {
+	if intensity <= 0 || intensity > 1 {
+		return nil, fmt.Errorf("rfb: intensity %v out of (0,1]", intensity)
+	}
+	area := float64(fb.W*fb.H) * intensity
+	side := int(math.Sqrt(area))
+	if side < 1 {
+		side = 1
+	}
+	if side > fb.W {
+		side = fb.W
+	}
+	if side > fb.H {
+		side = fb.H
+	}
+	return &Animator{fb: fb, side: side, dx: 7, dy: 3, color: 1}, nil
+}
+
+// Step advances the animation one frame: erases the old square, draws the
+// new one, bouncing off the edges.
+func (a *Animator) Step() {
+	a.fb.Fill(a.x, a.y, a.side, a.side, 0)
+	a.x += a.dx
+	a.y += a.dy
+	if a.x < 0 {
+		a.x = 0
+		a.dx = -a.dx
+	}
+	if a.y < 0 {
+		a.y = 0
+		a.dy = -a.dy
+	}
+	if a.x+a.side > a.fb.W {
+		a.x = a.fb.W - a.side
+		a.dx = -a.dx
+	}
+	if a.y+a.side > a.fb.H {
+		a.y = a.fb.H - a.side
+		a.dy = -a.dy
+	}
+	a.color++
+	if a.color == 0 {
+		a.color = 1
+	}
+	if a.Textured {
+		for yy := a.y; yy < a.y+a.side; yy++ {
+			for xx := a.x; xx < a.x+a.side; xx++ {
+				a.fb.Set(xx, yy, a.color^uint8(xx*7+yy*13))
+			}
+		}
+	} else {
+		a.fb.Fill(a.x, a.y, a.side, a.side, a.color)
+	}
+	a.Steps++
+}

@@ -1,0 +1,369 @@
+// Package rfb implements the remote-framebuffer protocol the Smart
+// Projector's projection service is built on — the role AT&T VNC plays in
+// the paper's prototype ("VNC is used to make the laptop display
+// available to the Aroma adapter which in turn displays it via the
+// projector").
+//
+// The model is a pull-protocol like real VNC: the display side requests
+// an update; the framebuffer side answers with the set of tiles that
+// changed since the last update, each tile encoded raw or run-length.
+// Pixels are 8-bit (palettized), faithful to 1999-era projected desktops
+// and keeping byte counts honest for the bandwidth experiment (C1): the
+// paper's physical-layer finding is that wireless bandwidth "prevents us
+// from displaying rapid animation", and the tile/encoding choices are the
+// ablation arms.
+package rfb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TileSize is the side length of the square dirty-tracking tiles.
+const TileSize = 16
+
+// Framebuffer is a W×H 8-bit pixel surface with per-tile dirty tracking.
+type Framebuffer struct {
+	W, H           int
+	pix            []uint8
+	tilesX, tilesY int
+	dirty          []bool
+}
+
+// NewFramebuffer allocates a zeroed framebuffer. Dimensions must be
+// positive; they are not required to be tile-aligned.
+func NewFramebuffer(w, h int) (*Framebuffer, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("rfb: invalid dimensions %dx%d", w, h)
+	}
+	tx := (w + TileSize - 1) / TileSize
+	ty := (h + TileSize - 1) / TileSize
+	return &Framebuffer{
+		W: w, H: h,
+		pix:    make([]uint8, w*h),
+		tilesX: tx, tilesY: ty,
+		dirty: make([]bool, tx*ty),
+	}, nil
+}
+
+// Pixel returns the pixel at (x, y); out-of-bounds reads return 0.
+func (f *Framebuffer) Pixel(x, y int) uint8 {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return 0
+	}
+	return f.pix[y*f.W+x]
+}
+
+// Set writes one pixel and marks its tile dirty. Out-of-bounds writes are
+// ignored.
+func (f *Framebuffer) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	i := y*f.W + x
+	if f.pix[i] == v {
+		return // no visual change, no dirt
+	}
+	f.pix[i] = v
+	f.dirty[(y/TileSize)*f.tilesX+(x/TileSize)] = true
+}
+
+// Fill sets every pixel in the rectangle [x, x+w) × [y, y+h).
+func (f *Framebuffer) Fill(x, y, w, h int, v uint8) {
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			f.Set(xx, yy, v)
+		}
+	}
+}
+
+// MarkAllDirty flags every tile, forcing the next update to be a full
+// frame (used at client attach).
+func (f *Framebuffer) MarkAllDirty() {
+	for i := range f.dirty {
+		f.dirty[i] = true
+	}
+}
+
+// DirtyTiles returns the bounding rectangles of all dirty tiles, in
+// row-major order. Tiles at the right/bottom edge are clipped.
+func (f *Framebuffer) DirtyTiles() []Rect {
+	var out []Rect
+	for ty := 0; ty < f.tilesY; ty++ {
+		for tx := 0; tx < f.tilesX; tx++ {
+			if !f.dirty[ty*f.tilesX+tx] {
+				continue
+			}
+			r := Rect{X: tx * TileSize, Y: ty * TileSize, W: TileSize, H: TileSize}
+			if r.X+r.W > f.W {
+				r.W = f.W - r.X
+			}
+			if r.Y+r.H > f.H {
+				r.H = f.H - r.Y
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DirtyCount returns the number of dirty tiles.
+func (f *Framebuffer) DirtyCount() int {
+	n := 0
+	for _, d := range f.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// ClearDirty resets all dirty flags (after an update has been taken).
+func (f *Framebuffer) ClearDirty() {
+	for i := range f.dirty {
+		f.dirty[i] = false
+	}
+}
+
+// Snapshot returns a copy of the raw pixels (for test comparison).
+func (f *Framebuffer) Snapshot() []uint8 {
+	out := make([]uint8, len(f.pix))
+	copy(out, f.pix)
+	return out
+}
+
+// Equal reports whether two framebuffers have identical pixel content.
+func (f *Framebuffer) Equal(g *Framebuffer) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	for i := range f.pix {
+		if f.pix[i] != g.pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rect is a pixel-space rectangle.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Encoding selects the tile wire format.
+type Encoding uint8
+
+// Tile encodings.
+const (
+	// EncRaw sends W*H literal bytes.
+	EncRaw Encoding = iota
+	// EncRLE sends (count, value) byte pairs.
+	EncRLE
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncRaw:
+		return "raw"
+	case EncRLE:
+		return "rle"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// encodeTileRaw extracts the rectangle's pixels row-major.
+func encodeTileRaw(f *Framebuffer, r Rect) []byte {
+	out := make([]byte, 0, r.W*r.H)
+	for y := r.Y; y < r.Y+r.H; y++ {
+		out = append(out, f.pix[y*f.W+r.X:y*f.W+r.X+r.W]...)
+	}
+	return out
+}
+
+// encodeTileRLE run-length encodes the rectangle row-major.
+func encodeTileRLE(f *Framebuffer, r Rect) []byte {
+	raw := encodeTileRaw(f, r)
+	out := make([]byte, 0, len(raw)/2)
+	i := 0
+	for i < len(raw) {
+		v := raw[i]
+		n := 1
+		for i+n < len(raw) && raw[i+n] == v && n < 255 {
+			n++
+		}
+		out = append(out, byte(n), v)
+		i += n
+	}
+	return out
+}
+
+// EncodeTile encodes the rectangle with the requested encoding. For
+// EncRLE, if run-length expansion would exceed the raw size the tile
+// falls back to raw (the returned encoding says which was used), exactly
+// as real RFB encoders do.
+func EncodeTile(f *Framebuffer, r Rect, enc Encoding) (Encoding, []byte) {
+	switch enc {
+	case EncRLE:
+		rle := encodeTileRLE(f, r)
+		if len(rle) < r.W*r.H {
+			return EncRLE, rle
+		}
+		return EncRaw, encodeTileRaw(f, r)
+	default:
+		return EncRaw, encodeTileRaw(f, r)
+	}
+}
+
+// DecodeTile writes an encoded tile into the framebuffer at r.
+func DecodeTile(f *Framebuffer, r Rect, enc Encoding, data []byte) error {
+	switch enc {
+	case EncRaw:
+		if len(data) != r.W*r.H {
+			return fmt.Errorf("rfb: raw tile size %d != %d", len(data), r.W*r.H)
+		}
+		i := 0
+		for y := r.Y; y < r.Y+r.H; y++ {
+			for x := r.X; x < r.X+r.W; x++ {
+				f.Set(x, y, data[i])
+				i++
+			}
+		}
+		return nil
+	case EncRLE:
+		if len(data)%2 != 0 {
+			return errors.New("rfb: odd RLE payload")
+		}
+		x, y := r.X, r.Y
+		total := 0
+		for i := 0; i < len(data); i += 2 {
+			n, v := int(data[i]), data[i+1]
+			if n == 0 {
+				return errors.New("rfb: zero-length RLE run")
+			}
+			total += n
+			for j := 0; j < n; j++ {
+				if y >= r.Y+r.H {
+					return errors.New("rfb: RLE overflow")
+				}
+				f.Set(x, y, v)
+				x++
+				if x == r.X+r.W {
+					x = r.X
+					y++
+				}
+			}
+		}
+		if total != r.W*r.H {
+			return fmt.Errorf("rfb: RLE covers %d pixels, want %d", total, r.W*r.H)
+		}
+		return nil
+	default:
+		return fmt.Errorf("rfb: unknown encoding %d", enc)
+	}
+}
+
+// TileUpdate is one encoded tile within an Update.
+type TileUpdate struct {
+	Rect Rect
+	Enc  Encoding
+	Data []byte
+}
+
+// Update is the wire unit: the set of tiles changed since the previous
+// update.
+type Update struct {
+	Serial uint32
+	Tiles  []TileUpdate
+}
+
+// WireSize returns the encoded byte size of the update.
+func (u *Update) WireSize() int {
+	n := 8 // serial + tile count
+	for _, t := range u.Tiles {
+		n += 13 + len(t.Data) // x,y,w,h (2 each) + enc + len(4)
+	}
+	return n
+}
+
+// Marshal encodes the update for the wire.
+func (u *Update) Marshal() []byte {
+	out := make([]byte, 0, u.WireSize())
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], u.Serial)
+	out = append(out, b4[:]...)
+	binary.BigEndian.PutUint32(b4[:], uint32(len(u.Tiles)))
+	out = append(out, b4[:]...)
+	var b2 [2]byte
+	for _, t := range u.Tiles {
+		for _, v := range []int{t.Rect.X, t.Rect.Y, t.Rect.W, t.Rect.H} {
+			binary.BigEndian.PutUint16(b2[:], uint16(v))
+			out = append(out, b2[:]...)
+		}
+		out = append(out, byte(t.Enc))
+		binary.BigEndian.PutUint32(b4[:], uint32(len(t.Data)))
+		out = append(out, b4[:]...)
+		out = append(out, t.Data...)
+	}
+	return out
+}
+
+// UnmarshalUpdate parses a wire-format update.
+func UnmarshalUpdate(data []byte) (*Update, error) {
+	if len(data) < 8 {
+		return nil, errors.New("rfb: short update header")
+	}
+	u := &Update{Serial: binary.BigEndian.Uint32(data[:4])}
+	count := binary.BigEndian.Uint32(data[4:8])
+	if count > 1<<20 {
+		return nil, fmt.Errorf("rfb: unreasonable tile count %d", count)
+	}
+	off := 8
+	for i := uint32(0); i < count; i++ {
+		if off+13 > len(data) {
+			return nil, errors.New("rfb: short tile header")
+		}
+		var t TileUpdate
+		t.Rect.X = int(binary.BigEndian.Uint16(data[off:]))
+		t.Rect.Y = int(binary.BigEndian.Uint16(data[off+2:]))
+		t.Rect.W = int(binary.BigEndian.Uint16(data[off+4:]))
+		t.Rect.H = int(binary.BigEndian.Uint16(data[off+6:]))
+		t.Enc = Encoding(data[off+8])
+		n := int(binary.BigEndian.Uint32(data[off+9:]))
+		off += 13
+		if off+n > len(data) {
+			return nil, errors.New("rfb: short tile data")
+		}
+		t.Data = data[off : off+n]
+		off += n
+		u.Tiles = append(u.Tiles, t)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("rfb: %d trailing bytes", len(data)-off)
+	}
+	return u, nil
+}
+
+// MakeUpdate collects the framebuffer's dirty tiles into an Update with
+// the given encoding preference and clears the dirty set.
+func MakeUpdate(f *Framebuffer, serial uint32, enc Encoding) *Update {
+	u := &Update{Serial: serial}
+	for _, r := range f.DirtyTiles() {
+		usedEnc, data := EncodeTile(f, r, enc)
+		u.Tiles = append(u.Tiles, TileUpdate{Rect: r, Enc: usedEnc, Data: data})
+	}
+	f.ClearDirty()
+	return u
+}
+
+// Apply writes every tile of an update into the framebuffer.
+func Apply(f *Framebuffer, u *Update) error {
+	for _, t := range u.Tiles {
+		if err := DecodeTile(f, t.Rect, t.Enc, t.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package rfb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFB(t *testing.T, w, h int) *Framebuffer {
+	t.Helper()
+	fb, err := NewFramebuffer(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+func TestNewFramebufferValidation(t *testing.T) {
+	if _, err := NewFramebuffer(0, 10); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewFramebuffer(10, -1); err == nil {
+		t.Fatal("negative height accepted")
+	}
+}
+
+func TestSetAndPixel(t *testing.T) {
+	fb := mustFB(t, 64, 48)
+	fb.Set(10, 20, 99)
+	if fb.Pixel(10, 20) != 99 {
+		t.Fatal("pixel not set")
+	}
+	if fb.Pixel(-1, 0) != 0 || fb.Pixel(0, 100) != 0 {
+		t.Fatal("out-of-bounds read not zero")
+	}
+	fb.Set(-5, -5, 1) // must not panic
+	fb.Set(64, 48, 1) // must not panic
+}
+
+func TestDirtyTracking(t *testing.T) {
+	fb := mustFB(t, 64, 64) // 4x4 tiles
+	if fb.DirtyCount() != 0 {
+		t.Fatal("fresh fb dirty")
+	}
+	fb.Set(0, 0, 1)
+	fb.Set(63, 63, 1)
+	if fb.DirtyCount() != 2 {
+		t.Fatalf("dirty = %d, want 2", fb.DirtyCount())
+	}
+	tiles := fb.DirtyTiles()
+	if len(tiles) != 2 {
+		t.Fatalf("tiles = %v", tiles)
+	}
+	if tiles[0] != (Rect{0, 0, 16, 16}) || tiles[1] != (Rect{48, 48, 16, 16}) {
+		t.Fatalf("tile rects = %v", tiles)
+	}
+	fb.ClearDirty()
+	if fb.DirtyCount() != 0 {
+		t.Fatal("ClearDirty failed")
+	}
+	// Writing the same value is not a visual change.
+	fb.Set(0, 0, 1)
+	if fb.DirtyCount() != 0 {
+		t.Fatal("no-op write marked dirty")
+	}
+}
+
+func TestDirtyTilesClippedAtEdges(t *testing.T) {
+	fb := mustFB(t, 20, 20) // 2x2 tiles, second row/col clipped to 4
+	fb.Set(19, 19, 5)
+	tiles := fb.DirtyTiles()
+	if len(tiles) != 1 {
+		t.Fatalf("tiles = %v", tiles)
+	}
+	if tiles[0] != (Rect{16, 16, 4, 4}) {
+		t.Fatalf("clipped tile = %v", tiles[0])
+	}
+}
+
+func TestMarkAllDirty(t *testing.T) {
+	fb := mustFB(t, 64, 64)
+	fb.MarkAllDirty()
+	if fb.DirtyCount() != 16 {
+		t.Fatalf("dirty = %d, want 16", fb.DirtyCount())
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	src := mustFB(t, 32, 32)
+	for i := 0; i < 200; i++ {
+		src.Set(i%32, (i*7)%32, uint8(i))
+	}
+	dst := mustFB(t, 32, 32)
+	for _, r := range []Rect{{0, 0, 16, 16}, {16, 0, 16, 16}, {0, 16, 16, 16}, {16, 16, 16, 16}} {
+		enc, data := EncodeTile(src, r, EncRaw)
+		if enc != EncRaw {
+			t.Fatal("raw request changed encoding")
+		}
+		if err := DecodeTile(dst, r, enc, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !src.Equal(dst) {
+		t.Fatal("raw round trip corrupted")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	src := mustFB(t, 32, 32)
+	src.Fill(0, 0, 32, 32, 7)
+	src.Fill(4, 4, 8, 8, 2)
+	dst := mustFB(t, 32, 32)
+	r := Rect{0, 0, 32, 32}
+	enc, data := EncodeTile(src, r, EncRLE)
+	if enc != EncRLE {
+		t.Fatal("compressible tile fell back to raw")
+	}
+	if len(data) >= 32*32 {
+		t.Fatalf("RLE did not compress: %d bytes", len(data))
+	}
+	if err := DecodeTile(dst, r, enc, data); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(dst) {
+		t.Fatal("RLE round trip corrupted")
+	}
+}
+
+func TestRLEFallbackOnNoise(t *testing.T) {
+	src := mustFB(t, 16, 16)
+	rng := rand.New(rand.NewSource(3))
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			src.Set(x, y, uint8(rng.Intn(250)))
+		}
+	}
+	enc, data := EncodeTile(src, Rect{0, 0, 16, 16}, EncRLE)
+	if enc != EncRaw {
+		t.Fatalf("noisy tile should fall back to raw, got %v (%d bytes)", enc, len(data))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	fb := mustFB(t, 16, 16)
+	r := Rect{0, 0, 16, 16}
+	if err := DecodeTile(fb, r, EncRaw, make([]byte, 5)); err == nil {
+		t.Fatal("short raw accepted")
+	}
+	if err := DecodeTile(fb, r, EncRLE, []byte{1}); err == nil {
+		t.Fatal("odd RLE accepted")
+	}
+	if err := DecodeTile(fb, r, EncRLE, []byte{0, 7}); err == nil {
+		t.Fatal("zero run accepted")
+	}
+	if err := DecodeTile(fb, r, EncRLE, []byte{255, 1, 255, 1}); err == nil {
+		t.Fatal("underfull RLE accepted")
+	}
+	if err := DecodeTile(fb, r, Encoding(9), nil); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+}
+
+func TestUpdateMarshalRoundTrip(t *testing.T) {
+	fb := mustFB(t, 48, 48)
+	fb.Fill(0, 0, 48, 48, 3)
+	fb.Fill(10, 10, 20, 20, 8)
+	u := MakeUpdate(fb, 42, EncRLE)
+	if fb.DirtyCount() != 0 {
+		t.Fatal("MakeUpdate did not clear dirty")
+	}
+	data := u.Marshal()
+	if len(data) != u.WireSize() {
+		t.Fatalf("wire size %d != marshal len %d", u.WireSize(), len(data))
+	}
+	v, err := UnmarshalUpdate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Serial != 42 || len(v.Tiles) != len(u.Tiles) {
+		t.Fatalf("round trip lost data: %+v", v)
+	}
+	dst := mustFB(t, 48, 48)
+	if err := Apply(dst, v); err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Equal(dst) {
+		t.Fatal("apply did not reproduce source")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalUpdate([]byte{1, 2}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	fb := mustFB(t, 32, 32)
+	fb.MarkAllDirty()
+	data := MakeUpdate(fb, 1, EncRaw).Marshal()
+	if _, err := UnmarshalUpdate(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := UnmarshalUpdate(append(data, 1)); err == nil {
+		t.Fatal("trailing accepted")
+	}
+}
+
+func TestIncrementalOnlySendsChanges(t *testing.T) {
+	fb := mustFB(t, 160, 160) // 100 tiles
+	fb.MarkAllDirty()
+	full := MakeUpdate(fb, 1, EncRaw)
+	if len(full.Tiles) != 100 {
+		t.Fatalf("full = %d tiles", len(full.Tiles))
+	}
+	fb.Set(5, 5, 9) // one tile's worth of change
+	inc := MakeUpdate(fb, 2, EncRaw)
+	if len(inc.Tiles) != 1 {
+		t.Fatalf("incremental = %d tiles, want 1", len(inc.Tiles))
+	}
+	if inc.WireSize() >= full.WireSize()/50 {
+		t.Fatalf("incremental too large: %d vs full %d", inc.WireSize(), full.WireSize())
+	}
+}
+
+func TestAnimatorDirtiesBoundedArea(t *testing.T) {
+	fb := mustFB(t, 320, 240)
+	a, err := NewAnimator(fb, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.ClearDirty()
+	a.Step()
+	// Square side ~ sqrt(0.05*320*240) = 62 → at most ~ (62/16+2)^2 tiles
+	// dirty for erase+draw, far less than the full 300.
+	if n := fb.DirtyCount(); n == 0 || n > 150 {
+		t.Fatalf("animator dirtied %d tiles", n)
+	}
+	for i := 0; i < 1000; i++ {
+		a.Step() // must stay in bounds without panicking
+	}
+	if a.Steps != 1001 {
+		t.Fatalf("steps = %d", a.Steps)
+	}
+}
+
+func TestAnimatorIntensityValidation(t *testing.T) {
+	fb := mustFB(t, 32, 32)
+	if _, err := NewAnimator(fb, 0); err == nil {
+		t.Fatal("zero intensity accepted")
+	}
+	if _, err := NewAnimator(fb, 1.5); err == nil {
+		t.Fatal(">1 intensity accepted")
+	}
+	if _, err := NewAnimator(fb, 1); err != nil {
+		t.Fatal("full intensity rejected")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if EncRaw.String() != "raw" || EncRLE.String() != "rle" {
+		t.Fatal("encoding names wrong")
+	}
+	if !bytes.Contains([]byte(Encoding(7).String()), []byte("7")) {
+		t.Fatal("unknown encoding name")
+	}
+}
+
+// Property: raw and RLE round trips reproduce any tile exactly.
+func TestPropertyEncodingRoundTrip(t *testing.T) {
+	f := func(pixels []byte, useRLE bool) bool {
+		src := mustFBQuick(16, 16)
+		for i, p := range pixels {
+			if i >= 256 {
+				break
+			}
+			src.Set(i%16, i/16, p)
+		}
+		want := EncRaw
+		if useRLE {
+			want = EncRLE
+		}
+		enc, data := EncodeTile(src, Rect{0, 0, 16, 16}, want)
+		dst := mustFBQuick(16, 16)
+		if err := DecodeTile(dst, Rect{0, 0, 16, 16}, enc, data); err != nil {
+			return false
+		}
+		return src.Equal(dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips updates built from random fills.
+func TestPropertyUpdateRoundTrip(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fb := mustFBQuick(64, 64)
+		for _, op := range ops {
+			x := int(op % 64)
+			y := int((op / 64) % 64)
+			fb.Set(x, y, uint8(op))
+		}
+		u := MakeUpdate(fb, 7, EncRLE)
+		v, err := UnmarshalUpdate(u.Marshal())
+		if err != nil {
+			return false
+		}
+		dst := mustFBQuick(64, 64)
+		if err := Apply(dst, v); err != nil {
+			return false
+		}
+		return fb.Equal(dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(32))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustFBQuick(w, h int) *Framebuffer {
+	fb, err := NewFramebuffer(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return fb
+}

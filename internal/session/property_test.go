@@ -1,0 +1,145 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aroma/internal/sim"
+)
+
+// Property: safety — under any interleaving of grab/release/touch/force
+// operations by multiple users, the session is held by at most one owner,
+// and every successful Grab happened when the session was free or
+// already owned by the caller.
+func TestPropertySingleOwnerSafety(t *testing.T) {
+	type op struct {
+		User   uint8
+		Action uint8
+		Wait   uint8
+	}
+	f := func(ops []op) bool {
+		k := sim.New(99)
+		m := NewManager(k, "svc")
+		m.IdleLimit = 50 * sim.Millisecond
+		for _, o := range ops {
+			user := fmt.Sprintf("u%d", o.User%4)
+			prevOwner := m.Owner()
+			switch o.Action % 4 {
+			case 0:
+				err := m.Grab(user)
+				if err == nil && prevOwner != "" && prevOwner != user {
+					return false // grabbed over someone else
+				}
+				if err != nil && prevOwner == "" {
+					return false // rejected a free session
+				}
+			case 1:
+				_ = m.Release(user)
+			case 2:
+				_ = m.Touch(user)
+			case 3:
+				_ = m.ForceRelease()
+			}
+			// A held session always has a non-empty owner and sane times.
+			if m.Held() && m.Owner() == "" {
+				return false
+			}
+			if m.HeldFor() < 0 || m.IdleFor() < 0 {
+				return false
+			}
+			k.RunUntil(k.Now() + sim.Time(o.Wait%60)*sim.Millisecond)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accounting — grabs equal releases + reclamations + forced
+// releases + (1 if currently held), for any operation sequence.
+func TestPropertySessionAccounting(t *testing.T) {
+	type op struct {
+		User   uint8
+		Action uint8
+		Wait   uint8
+	}
+	f := func(ops []op) bool {
+		k := sim.New(7)
+		m := NewManager(k, "svc")
+		m.IdleLimit = 40 * sim.Millisecond
+		for _, o := range ops {
+			user := fmt.Sprintf("u%d", o.User%3)
+			switch o.Action % 3 {
+			case 0:
+				_ = m.Grab(user)
+			case 1:
+				_ = m.Release(user)
+			case 2:
+				_ = m.ForceRelease()
+			}
+			k.RunUntil(k.Now() + sim.Time(o.Wait%80)*sim.Millisecond)
+		}
+		k.RunUntil(k.Now() + sim.Second) // let any pending reclamation land
+		held := uint64(0)
+		if m.Held() {
+			held = 1
+		}
+		return m.Grabs == m.Releases+m.Reclamations+m.ForcedReleases+held
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(102))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GrabAll over random manager subsets is all-or-nothing.
+func TestPropertyGrabAllAtomicity(t *testing.T) {
+	f := func(preHeld [5]bool, who uint8) bool {
+		k := sim.New(3)
+		managers := make([]*Manager, 5)
+		for i := range managers {
+			managers[i] = NewManager(k, fmt.Sprintf("m%d", i))
+			if preHeld[i] {
+				_ = managers[i].Grab("squatter")
+			}
+		}
+		owner := fmt.Sprintf("user%d", who%3)
+		err := GrabAll(owner, managers...)
+		anyPreHeld := false
+		for _, h := range preHeld {
+			if h {
+				anyPreHeld = true
+			}
+		}
+		if anyPreHeld {
+			if err == nil {
+				return false // should have failed
+			}
+			// Nothing newly acquired: every manager is either squatter's
+			// or free.
+			for i, m := range managers {
+				if preHeld[i] && m.Owner() != "squatter" {
+					return false
+				}
+				if !preHeld[i] && m.Held() {
+					return false
+				}
+			}
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		for _, m := range managers {
+			if m.Owner() != owner {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(103))}); err != nil {
+		t.Fatal(err)
+	}
+}

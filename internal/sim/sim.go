@@ -1,0 +1,283 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every Aroma substrate (radio, MAC, discovery, sessions, the user model)
+// runs on top of this kernel so that whole-system experiments are exactly
+// reproducible from a seed. The kernel provides a virtual clock, an event
+// queue with stable FIFO ordering among simultaneous events, cancellable
+// timers, and a seeded random number generator.
+//
+// The zero value of Kernel is not usable; create one with New.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual simulation time, measured as a duration since
+// the start of the simulation. Virtual time has nanosecond resolution and
+// never observes the wall clock.
+type Time time.Duration
+
+// Common virtual-time unit aliases, mirroring package time.
+const (
+	Nanosecond  Time = Time(time.Nanosecond)
+	Microsecond Time = Time(time.Microsecond)
+	Millisecond Time = Time(time.Millisecond)
+	Second      Time = Time(time.Second)
+	Minute      Time = Time(time.Minute)
+	Hour        Time = Time(time.Hour)
+)
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats the virtual time like a time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are one-shot: after firing or being
+// cancelled they are inert.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	fired  bool
+	cancel bool
+	label  string
+}
+
+// At returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event simulator.
+//
+// Kernel is not safe for concurrent use: the simulation model is
+// single-threaded by design, which is what makes runs reproducible. Use one
+// Kernel per goroutine (experiments that want parallelism run independent
+// kernels with different seeds).
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	seed    int64
+	stopped bool
+	steps   uint64
+	maxTime Time // zero means no horizon
+}
+
+// New creates a kernel whose random generator is seeded with seed.
+// The same seed always yields the same simulation.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Rand returns the kernel's deterministic random generator. All model
+// randomness must come from this generator to preserve reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ErrPastEvent is returned by ScheduleAt when the requested time is before
+// the current virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Schedule queues fn to run after delay d (relative to Now). A negative
+// delay is treated as zero: the event runs at the current time, after any
+// events already queued for that time. The label is kept for diagnostics.
+func (k *Kernel) Schedule(d Time, label string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, err := k.ScheduleAt(k.now+d, label, fn)
+	if err != nil {
+		// Unreachable: now+d >= now for d >= 0.
+		panic(err)
+	}
+	return ev
+}
+
+// ScheduleAt queues fn to run at absolute virtual time at.
+func (k *Kernel) ScheduleAt(at Time, label string, fn func()) (*Event, error) {
+	if at < k.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v (%s)", ErrPastEvent, at, k.now, label)
+	}
+	k.seq++
+	ev := &Event{at: at, seq: k.seq, fn: fn, index: -1, label: label}
+	heap.Push(&k.queue, ev)
+	return ev, nil
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op. Cancel reports whether
+// the event was actually descheduled by this call.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.fired || e.cancel {
+		return false
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&k.queue, e.index)
+	}
+	return true
+}
+
+// Stop makes the currently running Run/RunUntil call return after the
+// in-flight event completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// SetHorizon sets a hard time limit: Run stops once the next event would be
+// later than limit. A zero limit removes the horizon.
+func (k *Kernel) SetHorizon(limit Time) { k.maxTime = limit }
+
+// Step executes the single earliest pending event and advances the clock to
+// its timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if k.maxTime != 0 && e.at > k.maxTime {
+			// Put it back and report exhaustion within the horizon.
+			heap.Push(&k.queue, e)
+			return false
+		}
+		k.now = e.at
+		e.fired = true
+		k.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the
+// horizon is reached. It returns the number of events executed.
+func (k *Kernel) Run() uint64 {
+	start := k.steps
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+	return k.steps - start
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// to exactly deadline on return (even if the queue drained earlier). It
+// returns the number of events executed.
+func (k *Kernel) RunUntil(deadline Time) uint64 {
+	start := k.steps
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := k.queue[0]
+		if next.cancel {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.steps - start
+}
+
+// RunFor runs the simulation for d virtual time from the current instant.
+func (k *Kernel) RunFor(d Time) uint64 { return k.RunUntil(k.now + d) }
+
+// Ticker invokes fn every period until the returned stop function is
+// called. The first invocation happens after one full period.
+func (k *Kernel) Ticker(period Time, label string, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	stopped := false
+	var schedule func()
+	var pending *Event
+	schedule = func() {
+		pending = k.Schedule(period, label, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() {
+		stopped = true
+		k.Cancel(pending)
+	}
+}

@@ -1,0 +1,233 @@
+// Package trace records structured simulation events tagged with the LPC
+// layer they belong to. The Smart Projector analysis in the paper is an
+// exercise in classifying concerns into layers; the trace is the mechanism
+// by which the running system reports its concerns so the analyzer in
+// internal/core can classify them.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"aroma/internal/sim"
+)
+
+// Layer identifies one of the five levels of the Layered Pervasive
+// Computing model, bottom-up as the paper presents them.
+type Layer int
+
+// The five LPC layers (paper Figure 1).
+const (
+	Environment Layer = iota
+	Physical
+	Resource
+	Abstract
+	Intentional
+	numLayers
+)
+
+// Layers lists all layers bottom-up.
+func Layers() []Layer {
+	return []Layer{Environment, Physical, Resource, Abstract, Intentional}
+}
+
+// String returns the layer name as used in the paper.
+func (l Layer) String() string {
+	switch l {
+	case Environment:
+		return "Environment"
+	case Physical:
+		return "Physical"
+	case Resource:
+		return "Resource"
+	case Abstract:
+		return "Abstract"
+	case Intentional:
+		return "Intentional"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the five defined layers.
+func (l Layer) Valid() bool { return l >= Environment && l < numLayers }
+
+// Severity grades an event.
+type Severity int
+
+// Severity levels, from routine bookkeeping to layer-relation violations.
+const (
+	Debug Severity = iota
+	Info
+	Issue     // a concern worth classifying (the paper's "issues")
+	Violation // a broken cross-layer relation (e.g. hijack attempt, frustration)
+)
+
+// String returns a short name for the severity.
+func (s Severity) String() string {
+	switch s {
+	case Debug:
+		return "DEBUG"
+	case Info:
+		return "INFO"
+	case Issue:
+		return "ISSUE"
+	case Violation:
+		return "VIOLATION"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At       sim.Time
+	Layer    Layer
+	Severity Severity
+	Entity   string // which device/user/service reported it
+	Message  string
+}
+
+// String formats the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-11s %-9s %-16s %s",
+		e.At, e.Layer, e.Severity, e.Entity, e.Message)
+}
+
+// Log collects events. A nil *Log is valid and discards everything, so
+// model code can trace unconditionally.
+type Log struct {
+	clock   func() sim.Time
+	events  []Event
+	minKeep Severity
+}
+
+// New creates a log that timestamps events with the given clock function.
+// A nil clock stamps everything at time zero.
+func New(clock func() sim.Time) *Log {
+	if clock == nil {
+		clock = func() sim.Time { return 0 }
+	}
+	return &Log{clock: clock, minKeep: Debug}
+}
+
+// NewForKernel creates a log bound to a simulation kernel's clock.
+func NewForKernel(k *sim.Kernel) *Log { return New(k.Now) }
+
+// SetMinSeverity discards future events below sev.
+func (l *Log) SetMinSeverity(sev Severity) {
+	if l == nil {
+		return
+	}
+	l.minKeep = sev
+}
+
+// Record appends an event. Recording to a nil log is a no-op.
+func (l *Log) Record(layer Layer, sev Severity, entity, format string, args ...any) {
+	if l == nil || sev < l.minKeep {
+		return
+	}
+	l.events = append(l.events, Event{
+		At:       l.clock(),
+		Layer:    layer,
+		Severity: sev,
+		Entity:   entity,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Issue records an Issue-severity event.
+func (l *Log) Issue(layer Layer, entity, format string, args ...any) {
+	l.Record(layer, Issue, entity, format, args...)
+}
+
+// Violation records a Violation-severity event.
+func (l *Log) Violation(layer Layer, entity, format string, args ...any) {
+	l.Record(layer, Violation, entity, format, args...)
+}
+
+// Info records an Info-severity event.
+func (l *Log) Info(layer Layer, entity, format string, args ...any) {
+	l.Record(layer, Info, entity, format, args...)
+}
+
+// Events returns all recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// ByLayer returns the events recorded for one layer, in order.
+func (l *Log) ByLayer(layer Layer) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Layer == layer {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BySeverity returns events at or above the given severity.
+func (l *Log) BySeverity(min Severity) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Severity >= min {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByLayer returns a per-layer count of events at or above min severity.
+func (l *Log) CountByLayer(min Severity) map[Layer]int {
+	counts := make(map[Layer]int, int(numLayers))
+	if l == nil {
+		return counts
+	}
+	for _, e := range l.events {
+		if e.Severity >= min {
+			counts[e.Layer]++
+		}
+	}
+	return counts
+}
+
+// Reset discards all recorded events.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.events = l.events[:0]
+}
+
+// Render formats events at or above min severity, one per line.
+func (l *Log) Render(min Severity) string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		if e.Severity >= min {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

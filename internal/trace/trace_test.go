@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"aroma/internal/sim"
+)
+
+func TestLayerStrings(t *testing.T) {
+	want := []string{"Environment", "Physical", "Resource", "Abstract", "Intentional"}
+	layers := Layers()
+	if len(layers) != 5 {
+		t.Fatalf("Layers() returned %d layers", len(layers))
+	}
+	for i, l := range layers {
+		if l.String() != want[i] {
+			t.Errorf("layer %d = %q, want %q", i, l.String(), want[i])
+		}
+		if !l.Valid() {
+			t.Errorf("layer %v not valid", l)
+		}
+	}
+	if Layer(99).Valid() {
+		t.Error("Layer(99) claims to be valid")
+	}
+	if !strings.Contains(Layer(99).String(), "99") {
+		t.Error("unknown layer string should include its number")
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if Debug.String() != "DEBUG" || Violation.String() != "VIOLATION" {
+		t.Fatal("severity names wrong")
+	}
+	if !strings.Contains(Severity(42).String(), "42") {
+		t.Fatal("unknown severity string should include its number")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	k := sim.New(1)
+	l := NewForKernel(k)
+	k.Schedule(sim.Second, "a", func() {
+		l.Issue(Physical, "projector", "low bandwidth: %d kbps", 800)
+	})
+	k.Schedule(2*sim.Second, "b", func() {
+		l.Violation(Abstract, "user", "mental model diverged")
+	})
+	k.Schedule(3*sim.Second, "c", func() {
+		l.Info(Environment, "room", "noise %d dB", 55)
+	})
+	k.Run()
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].At != sim.Second || evs[1].At != 2*sim.Second {
+		t.Fatal("timestamps wrong")
+	}
+	if got := l.ByLayer(Physical); len(got) != 1 || !strings.Contains(got[0].Message, "800") {
+		t.Fatalf("ByLayer(Physical) = %v", got)
+	}
+	if got := l.BySeverity(Issue); len(got) != 2 {
+		t.Fatalf("BySeverity(Issue) returned %d", len(got))
+	}
+	counts := l.CountByLayer(Info)
+	if counts[Environment] != 1 || counts[Physical] != 1 || counts[Abstract] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Issue(Physical, "x", "y") // must not panic
+	l.SetMinSeverity(Violation) // must not panic
+	l.Reset()                   // must not panic
+	if l.Len() != 0 || l.Events() != nil || l.Render(Debug) != "" {
+		t.Fatal("nil log not inert")
+	}
+	if got := l.ByLayer(Physical); got != nil {
+		t.Fatal("nil log ByLayer not nil")
+	}
+	if got := l.CountByLayer(Debug); len(got) != 0 {
+		t.Fatal("nil log CountByLayer not empty")
+	}
+}
+
+func TestMinSeverityFilter(t *testing.T) {
+	l := New(nil)
+	l.SetMinSeverity(Issue)
+	l.Info(Physical, "x", "dropped")
+	l.Issue(Physical, "x", "kept")
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestRenderFiltersBySeverity(t *testing.T) {
+	l := New(nil)
+	l.Info(Resource, "dev", "fine")
+	l.Violation(Resource, "dev", "frustrated")
+	out := l.Render(Violation)
+	if strings.Contains(out, "fine") {
+		t.Fatal("render included low-severity event")
+	}
+	if !strings.Contains(out, "frustrated") || !strings.Contains(out, "VIOLATION") {
+		t.Fatalf("render missing violation:\n%s", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(nil)
+	l.Issue(Physical, "x", "y")
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNilClockStampsZero(t *testing.T) {
+	l := New(nil)
+	l.Issue(Physical, "x", "y")
+	if l.Events()[0].At != 0 {
+		t.Fatal("nil clock should stamp zero")
+	}
+}

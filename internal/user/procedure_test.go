@@ -1,0 +1,220 @@
+package user
+
+import (
+	"testing"
+
+	"aroma/internal/sim"
+)
+
+// projectorProcedure mirrors the paper's Smart Projector discipline: the
+// VNC server must be started on the laptop, then both clients, before
+// projection works.
+func projectorProcedure() Procedure {
+	return Procedure{
+		System: "smart-projector",
+		Steps: []Step{
+			{
+				Name:       "start-vnc-server",
+				Effects:    []string{"vnc.running"},
+				Difficulty: 0.5,
+				Latency:    2 * sim.Second,
+			},
+			{
+				Name:       "start-projection-client",
+				Preconds:   []string{"vnc.running"},
+				Effects:    []string{"projection.client"},
+				Difficulty: 0.4,
+				Latency:    sim.Second,
+			},
+			{
+				Name:       "start-control-client",
+				Effects:    []string{"control.client"},
+				Difficulty: 0.4,
+				Latency:    sim.Second,
+			},
+			{
+				Name:       "project",
+				Preconds:   []string{"projection.client", "control.client"},
+				Effects:    []string{"projecting"},
+				Difficulty: 0.2,
+				Latency:    sim.Second,
+			},
+		},
+		GoalProp: "projecting",
+	}
+}
+
+func TestExpertSucceedsFirstTry(t *testing.T) {
+	k := sim.New(7)
+	u := New(k, "expert", ResearcherFaculties())
+	proc := projectorProcedure()
+	u.LearnAll(proc)
+	res := u.Attempt(proc, NewWorld(), 5)
+	if !res.Success {
+		t.Fatalf("expert failed: %+v", res)
+	}
+	if res.Abandoned {
+		t.Fatal("expert abandoned")
+	}
+	if res.Failures > 1 {
+		t.Fatalf("expert failures = %d", res.Failures)
+	}
+}
+
+func TestNoviceStrugglesMoreThanExpert(t *testing.T) {
+	proc := projectorProcedure()
+	runOne := func(expert bool, seed int64) AttemptResult {
+		k := sim.New(seed)
+		var u *User
+		if expert {
+			u = New(k, "e", ResearcherFaculties())
+			u.LearnAll(proc)
+		} else {
+			u = New(k, "n", CasualFaculties())
+			// The novice's model: "I press project" — the paper's casual
+			// user has no idea about VNC servers or dual clients.
+			u.LearnSteps(proc, "project")
+		}
+		return u.Attempt(proc, NewWorld(), 10)
+	}
+	expertFails, noviceFails := 0, 0
+	noviceAbandons := 0
+	for seed := int64(0); seed < 40; seed++ {
+		e := runOne(true, seed)
+		n := runOne(false, seed)
+		expertFails += e.Failures
+		noviceFails += n.Failures
+		if n.Abandoned {
+			noviceAbandons++
+		}
+	}
+	if noviceFails <= expertFails {
+		t.Fatalf("novice failures %d should exceed expert %d", noviceFails, expertFails)
+	}
+	if noviceAbandons == 0 {
+		t.Fatal("no novice ever abandoned — conceptual burden not biting")
+	}
+}
+
+func TestNoviceLearnsAcrossRetries(t *testing.T) {
+	proc := projectorProcedure()
+	k := sim.New(11)
+	u := New(k, "learner", Faculties{
+		Languages:            []string{"en"},
+		TechSkill:            0.8, // skilled but untrained
+		Training:             map[string]float64{},
+		FrustrationTolerance: 1.0, // will not abandon
+		PatienceLimit:        sim.Minute,
+	})
+	u.LearnSteps(proc, "project")
+	res := u.Attempt(proc, NewWorld(), 20)
+	if !res.Success {
+		t.Fatalf("persistent skilled user should eventually succeed: %+v", res)
+	}
+	if res.Failures == 0 {
+		t.Fatal("learning path should include failures")
+	}
+	plan := u.PlanBeliefs(proc)
+	if len(plan) < 3 {
+		t.Fatalf("user should have learned the prerequisites: %v", plan)
+	}
+}
+
+func TestStreamlinedDesignReducesBurden(t *testing.T) {
+	// The paper's proposed abstract-layer improvement: integrate service
+	// discovery so one step does everything (auto-start both clients and
+	// the server).
+	streamlined := Procedure{
+		System: "smart-projector-v2",
+		Steps: []Step{
+			{
+				Name:       "press-project",
+				Effects:    []string{"vnc.running", "projection.client", "control.client", "projecting"},
+				Difficulty: 0.1,
+				Latency:    2 * sim.Second,
+			},
+		},
+		GoalProp: "projecting",
+	}
+	original := projectorProcedure()
+	if streamlined.TotalDifficulty() >= original.TotalDifficulty() {
+		t.Fatal("streamlined design should have lower total difficulty")
+	}
+	abandons := 0
+	for seed := int64(0); seed < 40; seed++ {
+		k := sim.New(seed)
+		u := New(k, "casual", CasualFaculties())
+		u.LearnSteps(streamlined, "press-project")
+		res := u.Attempt(streamlined, NewWorld(), 10)
+		if res.Abandoned {
+			abandons++
+		} else if !res.Success {
+			t.Fatalf("seed %d: neither success nor abandonment: %+v", seed, res)
+		}
+	}
+	if abandons > 4 {
+		t.Fatalf("streamlined design abandoned %d/40 times", abandons)
+	}
+}
+
+func TestWorldOperations(t *testing.T) {
+	w := NewWorld()
+	if w.True("x") || w.Get("x") != "" {
+		t.Fatal("fresh world not empty")
+	}
+	w.Set("x", "true")
+	if !w.True("x") {
+		t.Fatal("Set failed")
+	}
+	snap := w.Snapshot()
+	w.Set("x", "false")
+	if snap["x"] != "true" {
+		t.Fatal("snapshot not a copy")
+	}
+}
+
+func TestUndoesClearPropositions(t *testing.T) {
+	proc := Procedure{
+		System: "s",
+		Steps: []Step{
+			{Name: "open", Effects: []string{"session.open"}},
+			{Name: "close", Preconds: []string{"session.open"}, Undoes: []string{"session.open"}, Effects: []string{"done"}},
+		},
+		GoalProp: "done",
+	}
+	k := sim.New(3)
+	u := New(k, "x", ResearcherFaculties())
+	u.LearnAll(proc)
+	w := NewWorld()
+	res := u.Attempt(proc, w, 3)
+	if !res.Success {
+		t.Fatalf("attempt failed: %+v", res)
+	}
+	if w.True("session.open") {
+		t.Fatal("undo effect not applied")
+	}
+}
+
+func TestProviderOf(t *testing.T) {
+	proc := projectorProcedure()
+	if p := providerOf(proc, "vnc.running"); p != "start-vnc-server" {
+		t.Fatalf("provider = %q", p)
+	}
+	if p := providerOf(proc, "unknown"); p != "" {
+		t.Fatalf("provider of unknown = %q", p)
+	}
+}
+
+func TestAttemptDeterministicPerSeed(t *testing.T) {
+	proc := projectorProcedure()
+	run := func() AttemptResult {
+		k := sim.New(99)
+		u := New(k, "d", CasualFaculties())
+		u.LearnSteps(proc, "project")
+		return u.Attempt(proc, NewWorld(), 10)
+	}
+	a, b := run(), run()
+	if a.Success != b.Success || a.Failures != b.Failures || a.StepsTried != b.StepsTried {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,139 @@
+package user
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aroma/internal/sim"
+)
+
+// Property: frustration stays in [0,1] and abandonment is absorbing,
+// for any sequence of frustrate/calm/latency events.
+func TestPropertyFrustrationBounded(t *testing.T) {
+	type ev struct {
+		Kind uint8
+		Mag  uint8
+		Wait uint8
+	}
+	f := func(events []ev) bool {
+		k := sim.New(5)
+		u := New(k, "p", CasualFaculties())
+		abandonedOnce := false
+		u.OnAbandon = func(string) {
+			if abandonedOnce {
+				return
+			}
+			abandonedOnce = true
+		}
+		wasAbandoned := false
+		for _, e := range events {
+			switch e.Kind % 3 {
+			case 0:
+				u.Frustrate(float64(e.Mag)/200, "x")
+			case 1:
+				u.ExperienceLatency(sim.Time(e.Mag)*sim.Second, "ui")
+			case 2:
+				if e.Mag%7 == 0 {
+					u.Calm()
+					wasAbandoned = false
+				}
+			}
+			if u.Frustration() < 0 || u.Frustration() > 1 {
+				return false
+			}
+			// Abandonment only clears via Calm.
+			if wasAbandoned && !u.Abandoned() {
+				return false
+			}
+			if u.Abandoned() {
+				wasAbandoned = true
+			}
+			k.RunUntil(k.Now() + sim.Time(e.Wait)*sim.Second)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(111))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Attempt terminates with coherent counters for arbitrary
+// (structurally valid) procedures and user skill settings.
+func TestPropertyAttemptCoherent(t *testing.T) {
+	f := func(nSteps, skillRaw, tolRaw uint8, seed int64) bool {
+		steps := int(nSteps%6) + 1
+		proc := Procedure{System: "gen"}
+		for i := 0; i < steps; i++ {
+			s := Step{
+				Name:       string(rune('a' + i)),
+				Effects:    []string{string(rune('A' + i))},
+				Difficulty: float64(i%4) * 0.25,
+				Latency:    sim.Second,
+			}
+			if i > 0 {
+				s.Preconds = []string{string(rune('A' + i - 1))}
+			}
+			proc.Steps = append(proc.Steps, s)
+		}
+		proc.GoalProp = string(rune('A' + steps - 1))
+
+		k := sim.New(seed)
+		u := New(k, "g", Faculties{
+			Languages:            []string{"en"},
+			TechSkill:            float64(skillRaw%101) / 100,
+			Training:             map[string]float64{},
+			FrustrationTolerance: float64(tolRaw%90+10) / 100,
+			PatienceLimit:        sim.Minute,
+		})
+		u.LearnAll(proc)
+		res := u.Attempt(proc, NewWorld(), 8)
+		if res.Success && res.Abandoned {
+			return false // mutually exclusive
+		}
+		if res.StepsTried < 0 || res.Failures < 0 || res.Failures > res.StepsTried {
+			return false
+		}
+		if res.FrustrationEnd < 0 || res.FrustrationEnd > 1 {
+			return false
+		}
+		if len(res.FailedSteps) != res.Failures {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(112))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an expert (full training, tolerance 1) always succeeds on a
+// well-formed linear procedure.
+func TestPropertyExpertAlwaysSucceeds(t *testing.T) {
+	f := func(seed int64, nSteps uint8) bool {
+		steps := int(nSteps%5) + 1
+		proc := Procedure{System: "sys"}
+		for i := 0; i < steps; i++ {
+			s := Step{Name: string(rune('a' + i)), Effects: []string{string(rune('A' + i))}, Difficulty: 0.9}
+			if i > 0 {
+				s.Preconds = []string{string(rune('A' + i - 1))}
+			}
+			proc.Steps = append(proc.Steps, s)
+		}
+		proc.GoalProp = string(rune('A' + steps - 1))
+		k := sim.New(seed)
+		u := New(k, "x", Faculties{
+			Languages:            []string{"en"},
+			TechSkill:            1,
+			Training:             map[string]float64{"sys": 1},
+			FrustrationTolerance: 1,
+			PatienceLimit:        sim.Hour,
+		})
+		u.LearnAll(proc)
+		res := u.Attempt(proc, NewWorld(), 3)
+		return res.Success
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(113))}); err != nil {
+		t.Fatal(err)
+	}
+}

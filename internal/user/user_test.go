@@ -1,0 +1,191 @@
+package user
+
+import (
+	"strings"
+	"testing"
+
+	"aroma/internal/sim"
+)
+
+func TestFacultiesQueries(t *testing.T) {
+	f := ResearcherFaculties()
+	if !f.Speaks("en") || f.Speaks("fr") {
+		t.Fatal("language check wrong")
+	}
+	if f.TrainingFor("smart-projector") != 0.9 || f.TrainingFor("unknown") != 0 {
+		t.Fatal("training lookup wrong")
+	}
+	c := CasualFaculties()
+	if c.TechSkill >= f.TechSkill {
+		t.Fatal("casual should be less skilled than researcher")
+	}
+	if c.FrustrationTolerance >= f.FrustrationTolerance {
+		t.Fatal("casual should tolerate less")
+	}
+}
+
+func TestMentalModelBeliefs(t *testing.T) {
+	m := NewMentalModel()
+	if m.Len() != 0 {
+		t.Fatal("fresh model not empty")
+	}
+	m.Believe("projector.on", "true")
+	if v, ok := m.Belief("projector.on"); !ok || v != "true" {
+		t.Fatal("belief not stored")
+	}
+	m.Forget("projector.on")
+	if _, ok := m.Belief("projector.on"); ok {
+		t.Fatal("forget failed")
+	}
+}
+
+func TestObserveSurprise(t *testing.T) {
+	m := NewMentalModel()
+	m.Believe("session.free", "true")
+	if s := m.Observe("session.free", "false"); !s {
+		t.Fatal("contradiction not surprising")
+	}
+	if m.Surprises != 1 {
+		t.Fatalf("surprises = %d", m.Surprises)
+	}
+	// Now consistent.
+	if s := m.Observe("session.free", "false"); s {
+		t.Fatal("consistent observation surprised")
+	}
+	// Observing something with no prior belief is not surprising.
+	if s := m.Observe("new.prop", "true"); s {
+		t.Fatal("novel observation surprised")
+	}
+}
+
+func TestConsistencyScore(t *testing.T) {
+	m := NewMentalModel()
+	if m.ConsistencyWith(map[string]string{"x": "1"}) != 1 {
+		t.Fatal("empty model should be consistent")
+	}
+	m.Believe("a", "1")
+	m.Believe("b", "2")
+	actual := map[string]string{"a": "1", "b": "wrong"}
+	if got := m.ConsistencyWith(actual); got != 0.5 {
+		t.Fatalf("consistency = %v", got)
+	}
+	inc := m.Inconsistencies(actual)
+	if len(inc) != 1 || !strings.Contains(inc[0], "b") {
+		t.Fatalf("inconsistencies = %v", inc)
+	}
+}
+
+func TestFrustrationAccumulatesAndAbandons(t *testing.T) {
+	k := sim.New(1)
+	u := New(k, "carol", CasualFaculties()) // tolerance 0.4
+	var cause string
+	u.OnAbandon = func(c string) { cause = c }
+	u.Frustrate(0.2, "slow")
+	if u.Abandoned() {
+		t.Fatal("abandoned too early")
+	}
+	u.Frustrate(0.25, "confusing dialog")
+	if !u.Abandoned() {
+		t.Fatal("did not abandon past tolerance")
+	}
+	if cause != "confusing dialog" {
+		t.Fatalf("cause = %q", cause)
+	}
+	if u.FrustrationEvents != 2 {
+		t.Fatalf("events = %d", u.FrustrationEvents)
+	}
+	// Frustration after abandonment is inert.
+	u.Frustrate(0.5, "more")
+	if u.FrustrationEvents != 2 {
+		t.Fatal("frustration counted after abandonment")
+	}
+}
+
+func TestFrustrationDecay(t *testing.T) {
+	k := sim.New(1)
+	u := New(k, "dan", ResearcherFaculties())
+	u.FrustrationHalfLife = sim.Minute
+	u.Frustrate(0.4, "x")
+	if u.Frustration() != 0.4 {
+		t.Fatalf("initial = %v", u.Frustration())
+	}
+	k.RunUntil(sim.Minute)
+	got := u.Frustration()
+	if got < 0.19 || got > 0.21 {
+		t.Fatalf("after one half-life = %v, want ~0.2", got)
+	}
+	k.RunUntil(30 * sim.Minute)
+	if u.Frustration() != 0 {
+		t.Fatalf("long decay = %v, want 0", u.Frustration())
+	}
+}
+
+func TestCalmResets(t *testing.T) {
+	k := sim.New(1)
+	u := New(k, "eve", CasualFaculties())
+	u.Frustrate(0.9, "everything")
+	if !u.Abandoned() {
+		t.Fatal("should have abandoned")
+	}
+	u.Calm()
+	if u.Abandoned() || u.Frustration() != 0 {
+		t.Fatal("Calm did not reset")
+	}
+}
+
+func TestExperienceLatency(t *testing.T) {
+	k := sim.New(1)
+	u := New(k, "pat", CasualFaculties()) // patience 2s
+	u.ExperienceLatency(sim.Second, "ui")
+	if u.Frustration() != 0 {
+		t.Fatal("fast response frustrated")
+	}
+	u.ExperienceLatency(6*sim.Second, "ui") // 2x excess → 0.1
+	if u.Frustration() <= 0 {
+		t.Fatal("slow response did not frustrate")
+	}
+	// Extreme latency is capped.
+	v := New(k, "vic", CasualFaculties())
+	v.ExperienceLatency(sim.Hour, "ui")
+	if v.Frustration() > 0.5 {
+		t.Fatalf("latency frustration uncapped: %v", v.Frustration())
+	}
+}
+
+func TestZeroOrNegativeFrustrationIgnored(t *testing.T) {
+	u := New(sim.New(1), "z", CasualFaculties())
+	u.Frustrate(0, "nothing")
+	u.Frustrate(-1, "negative")
+	if u.Frustration() != 0 || u.FrustrationEvents != 0 {
+		t.Fatal("non-positive deltas should be ignored")
+	}
+}
+
+func TestGoalImportance(t *testing.T) {
+	u := New(sim.New(1), "g", CasualFaculties())
+	u.Goals = []Goal{{Name: "present", Importance: 3}, {Name: "demo", Importance: 1}}
+	if u.GoalImportanceTotal() != 4 {
+		t.Fatalf("total = %v", u.GoalImportanceTotal())
+	}
+}
+
+func TestUserString(t *testing.T) {
+	u := New(sim.New(1), "s", CasualFaculties())
+	if !strings.Contains(u.String(), "engaged") {
+		t.Fatal("state missing")
+	}
+	u.Frustrate(0.9, "x")
+	if !strings.Contains(u.String(), "abandoned") {
+		t.Fatal("abandoned state missing")
+	}
+}
+
+func TestDefaultPhysiologyReasonable(t *testing.T) {
+	p := DefaultPhysiology()
+	if p.SpeechLevelDB < 50 || p.SpeechLevelDB > 80 {
+		t.Fatalf("speech level %v", p.SpeechLevelDB)
+	}
+	if p.SpeedMPS <= 0 || p.ReachM <= 0 || p.MinLegiblePx <= 0 {
+		t.Fatal("non-positive physiology values")
+	}
+}
