@@ -1,190 +1,100 @@
-// Command aromasim runs the full Aroma lab scenario end-to-end on the
-// simulated substrates: the lookup service announces, the Smart Projector
-// registers its two services under leases, the presenter's laptop
-// discovers the projector, grabs both sessions, streams an animated
-// presentation over the VNC-style protocol, a second user's hijack
-// attempt is rejected, the presenter walks away and the forgotten session
-// is reclaimed — and finally the whole run is analyzed with the LPC model
-// (trace events folded in).
+// Command aromasim runs registered Aroma scenarios on the simulated
+// substrates through the pkg/aroma facade and its scenario registry.
+//
+// The default scenario, "lab", is the full end-to-end run: the lookup
+// service announces, the Smart Projector registers its services under
+// leases, the presenter discovers it, grabs both sessions, streams an
+// animated presentation, a hijack attempt is rejected, the presenter
+// walks away and the forgotten session is reclaimed — then the whole run
+// is analyzed with the LPC model.
 //
 // Usage:
 //
-//	aromasim [-seed N] [-minutes M] [-verbose]
+//	aromasim [-scenario name] [-seed N] [-minutes M] [-verbose]
+//	aromasim -list                 # list registered scenarios
+//	aromasim -all                  # batch-run every scenario, print a comparison table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
-	"aroma/internal/core"
-	"aroma/internal/device"
-	"aroma/internal/discovery"
-	"aroma/internal/env"
-	"aroma/internal/geo"
-	"aroma/internal/mac"
-	"aroma/internal/netsim"
-	"aroma/internal/projector"
-	"aroma/internal/radio"
-	"aroma/internal/rfb"
 	"aroma/internal/sim"
-	"aroma/internal/trace"
-	"aroma/internal/user"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios" // populate the registry
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	minutes := flag.Int("minutes", 6, "simulated minutes to run")
-	verbose := flag.Bool("verbose", false, "print the full trace")
+	name := flag.String("scenario", "lab", "registered scenario to run (see -list)")
+	seed := flag.Int64("seed", 0, "simulation seed (0 = the scenario's classic seed)")
+	minutes := flag.Int("minutes", 0, "simulated minutes to run (0 = the scenario's default)")
+	verbose := flag.Bool("verbose", false, "print the full trace / extra detail")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	all := flag.Bool("all", false, "run every registered scenario and print a comparison table")
 	flag.Parse()
 
-	k := sim.New(*seed)
-	plan := geo.NewFloorPlan(geo.RectAt(0, 0, 30, 20))
-	e := env.New(k, plan)
-	med := radio.NewMedium(k, e)
-	m := mac.New(med, mac.Config{})
-	nw := netsim.New(m)
-	log := trace.NewForKernel(k)
-
-	say := func(format string, args ...any) {
-		fmt.Printf("[%8s] %s\n", k.Now(), fmt.Sprintf(format, args...))
+	if *list {
+		for _, s := range scenario.All() {
+			fmt.Printf("%-16s %s\n", s.Name, s.Description)
+		}
+		return
 	}
 
-	// Infrastructure.
-	lkNode := nw.NewNode("lookup", m.AddStation(med.NewRadio("lookup", geo.Pt(15, 18), 6, 15)))
-	lookup := discovery.NewLookup(lkNode)
-	lookup.Start()
-	say("lookup service online at addr %d, announcing", lkNode.Addr())
-
-	projNode := nw.NewNode("projector", m.AddStation(med.NewRadio("projector", geo.Pt(25, 10), 6, 15)))
-	cfg := projector.DefaultConfig()
-	cfg.IdleLimit = 90 * sim.Second
-	proj := projector.New(projNode, discovery.NewAgent(projNode), log, cfg)
-
-	aliceNode := nw.NewNode("alice-laptop", m.AddStation(med.NewRadio("alice", geo.Pt(5, 10), 6, 15)))
-	alice := projector.NewPresenter("alice", aliceNode, discovery.NewAgent(aliceNode))
-	bobNode := nw.NewNode("bob-laptop", m.AddStation(med.NewRadio("bob", geo.Pt(8, 6), 6, 15)))
-	bob := projector.NewPresenter("bob", bobNode, discovery.NewAgent(bobNode))
-
-	// Script the scenario.
-	k.Schedule(sim.Second, "register", func() {
-		proj.Register(func(err error) {
-			if err != nil {
-				say("projector registration FAILED: %v", err)
-				return
-			}
-			say("projector registered display+control services (leased, auto-renewed)")
-		})
-	})
-	k.Schedule(5*sim.Second, "alice-setup", func() {
-		if err := alice.StartVNC(1024, 768, rfb.EncRLE); err != nil {
-			say("alice VNC failed: %v", err)
-			return
-		}
-		say("alice started her VNC server (1024x768)")
-		alice.Discover(func(err error) {
-			if err != nil {
-				say("alice discovery failed: %v", err)
-				return
-			}
-			addr, _ := alice.ProjectorAddr()
-			say("alice discovered the smart projector at addr %d (proxy downloaded: %v)", addr, alice.HasProxy())
-			alice.GrabProjection(func(err error) {
-				if err != nil {
-					say("alice grab projection failed: %v", err)
-					return
-				}
-				say("alice holds the projection session; streaming begins")
-			})
-			alice.GrabControl(func(err error) {
-				if err == nil {
-					say("alice holds the control session")
-				}
-			})
-		})
-	})
-
-	// Alice presents: animation on her screen for two minutes.
-	var anim *rfb.Animator
-	k.Schedule(10*sim.Second, "present", func() {
-		if alice.VNC == nil {
-			return
-		}
-		anim, _ = rfb.NewAnimator(alice.VNC.Framebuffer(), 0.02)
-		stopAnim := k.Ticker(100*sim.Millisecond, "slides", anim.Step)
-		k.Schedule(2*sim.Minute, "stop-presenting", func() {
-			stopAnim()
-			say("alice finishes presenting and WALKS AWAY without releasing (the paper's forgotten session)")
-		})
-	})
-
-	// Bob tries to hijack mid-presentation.
-	k.Schedule(sim.Minute, "bob-hijack", func() {
-		if err := bob.StartVNC(800, 600, rfb.EncRLE); err != nil {
-			return
-		}
-		bob.Discover(func(err error) {
-			if err != nil {
-				return
-			}
-			bob.GrabProjection(func(err error) {
-				if err != nil {
-					say("bob's grab while alice presents was REJECTED: %v", err)
-				} else {
-					say("bob HIJACKED the projector (bug!)")
-				}
-			})
-		})
-	})
-
-	// Bob waits politely for the reclaimed session.
-	k.Schedule(2*sim.Minute+20*sim.Second, "bob-waits", func() {
-		proj.Projection.WaitFor("bob", func() {
-			say("idle timeout reclaimed alice's session; bob granted projection without any administrator")
-		})
-	})
-
-	// Brightness fiddling through the control proxy.
-	k.Schedule(90*sim.Second, "brightness", func() {
-		alice.Command(projector.CmdPowerToggle, func(err error) {
-			if err == nil {
-				say("alice powered the projector on via remote control")
-			}
-		})
-		alice.Command(99, func(err error) {
-			say("alice's invalid command rejected locally by the mobile proxy: %v", err)
-		})
-	})
-
-	horizon := sim.Time(*minutes) * sim.Minute
-	k.RunUntil(horizon)
-
-	say("simulation complete: projector showed %d frames, served %d commands", proj.FramesShown, proj.CommandsServed)
-	say("lookup registry: %d live registrations; medium: %d frames sent, %d lost",
-		lookup.Count(), med.Sent, med.Lost)
-
-	if *verbose {
-		fmt.Println("\nFull trace:")
-		fmt.Print(log.Render(trace.Info))
+	cfg := scenario.Config{
+		Seed:    *seed,
+		Horizon: sim.Time(*minutes) * sim.Minute,
+		Verbose: *verbose,
+		Out:     os.Stdout,
 	}
 
-	// Fold the run into an LPC analysis.
-	sys := &core.System{Name: "aroma-lab-run", Env: e, Medium: med, Log: log}
-	sys.AddDevice(&core.DeviceEntity{
-		Name: "projector", Pos: geo.Pt(25, 10), Spec: device.AromaAdapterSpec(),
-		AppState: proj.AppState(),
-		Purpose: core.DesignPurpose{
-			Description:  "research prototype",
-			Capabilities: map[string]float64{"remote-projection": 0.8, "remote-control": 0.8, "zero-config": 0.2},
-			AssumedSkill: 0.9,
-		},
-	})
-	aliceUser := user.New(k, "alice", user.ResearcherFaculties())
-	aliceUser.Pos = geo.Pt(5, 10.5)
-	// Alice still believes she is projecting — she walked away.
-	aliceUser.Mental.Believe("projecting", "true")
-	aliceUser.Mental.Believe("projection.owner", "alice")
-	sys.AddUser(&core.UserEntity{U: aliceUser, Operates: []string{"projector"}})
+	if *all {
+		runAll(cfg)
+		return
+	}
 
-	fmt.Println()
-	fmt.Println(core.Analyze(sys, core.DefaultConfig()).Render())
+	if _, err := scenario.Run(*name, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runAll batch-runs every registered scenario (narration suppressed
+// unless -verbose) and prints one comparison row per scenario.
+func runAll(cfg scenario.Config) {
+	type row struct {
+		res *scenario.Result
+		err error
+	}
+	rows := make(map[string]row)
+	for _, s := range scenario.All() {
+		c := cfg
+		if !cfg.Verbose {
+			c.Out = io.Discard
+		} else {
+			fmt.Printf("=== %s ===\n", s.Name)
+		}
+		res, err := scenario.Run(s.Name, c)
+		rows[s.Name] = row{res: res, err: err}
+	}
+
+	fmt.Printf("%-16s %10s %10s %9s %7s %11s\n",
+		"scenario", "sim-time", "events", "findings", "issues", "violations")
+	failed := 0
+	for _, s := range scenario.All() {
+		r := rows[s.Name]
+		if r.err != nil {
+			failed++
+			fmt.Printf("%-16s ERROR: %v\n", s.Name, r.err)
+			continue
+		}
+		fmt.Printf("%-16s %10s %10d %9d %7d %11d\n",
+			s.Name, r.res.SimTime, r.res.Steps,
+			r.res.Findings(), r.res.Issues(), r.res.Violations())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d scenario(s) failed\n", failed)
+		os.Exit(1)
+	}
 }

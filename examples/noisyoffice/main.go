@@ -2,85 +2,23 @@
 // control that works in a quiet office becomes unusable as background
 // conversation builds, and the frustrated user eventually gives up.
 //
-// "Background noise, that is currently acceptable, may become
-// objectionable if voice recognition is used in a pervasive computing
-// system."
+// The scenario body lives in pkg/aroma/scenarios; this binary runs it
+// from the registry.
 //
 //	go run ./examples/noisyoffice
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"aroma/internal/env"
-	"aroma/internal/geo"
-	"aroma/internal/sim"
-	"aroma/internal/user"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios" // register the stock scenarios
 )
 
 func main() {
-	k := sim.New(3)
-	plan := geo.NewFloorPlan(geo.RectAt(0, 0, 12, 8))
-	// Cubicle partitions: thin, acoustically leaky.
-	plan.AddWall(geo.Seg(geo.Pt(4, 0), geo.Pt(4, 5)), 3, 6)
-	plan.AddWall(geo.Seg(geo.Pt(8, 0), geo.Pt(8, 5)), 3, 6)
-	e := env.New(k, plan)
-
-	// Dana's cubicle has a voice-controlled appliance half a metre away.
-	fac := user.CasualFaculties()
-	fac.FrustrationTolerance = 0.75 // dana really wants this to work
-	dana := user.New(k, "dana", fac)
-	dana.FrustrationHalfLife = 2 * sim.Hour // a bad morning lingers
-	dana.Pos = geo.Pt(2, 2)
-	mic := geo.Pt(2.5, 2)
-	dana.OnAbandon = func(cause string) {
-		fmt.Printf("[%8s] dana gives up on voice control: %s\n", k.Now(), cause)
+	if _, err := scenario.Run("noisyoffice", scenario.Config{Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	fmt.Println("hour-by-hour office day; dana issues 10 voice commands per hour")
-	rng := k.Rand()
-	conversations := []*env.NoiseSource{}
-	for hour := 8; hour <= 16; hour++ {
-		// The office fills up until lunch, empties after 15:00.
-		switch {
-		case hour <= 11:
-			// Each arriving conversation is a bit closer to dana's desk.
-			c := e.AddNoiseSource(fmt.Sprintf("chat-%d", hour),
-				geo.Pt(9-float64(len(conversations)), 4), 62)
-			conversations = append(conversations, c)
-		case hour >= 15 && len(conversations) > 0:
-			e.RemoveNoiseSource(conversations[len(conversations)-1])
-			conversations = conversations[:len(conversations)-1]
-		}
-		snr := e.SpeechSNRDB(dana.Pos, mic, dana.Physiology.SpeechLevelDB)
-		p := env.RecognitionSuccessProbability(snr)
-		ok, fail := 0, 0
-		for i := 0; i < 10 && !dana.Abandoned(); i++ {
-			if rng.Float64() < p {
-				ok++
-			} else {
-				fail++
-				// A misrecognized command is a small frustration; having
-				// to repeat yourself in front of colleagues is worse.
-				dana.Frustrate(0.05, fmt.Sprintf("misrecognized command at %02d:00", hour))
-			}
-		}
-		fmt.Printf("  %02d:00  conversations=%d  SNR=%5.1f dB  p=%.2f  ok=%2d fail=%2d  frustration=%.2f\n",
-			hour, len(conversations), snr, p, ok, fail, dana.Frustration())
-		k.RunUntil(k.Now() + sim.Hour)
-		if dana.Abandoned() {
-			break
-		}
-	}
-
-	if !dana.Abandoned() {
-		fmt.Println("dana made it through the day — a quieter office (or a better mic) would too")
-	}
-	fmt.Println("\nand the social inverse: even with perfect recognition, dana talking to a")
-	fmt.Println("machine all day raises the ambient level for everyone else's cubicle:")
-	coworker := geo.Pt(5, 2) // the other side of the partition
-	before := e.AmbientNoiseDB(coworker)
-	e.AddNoiseSource("dana-voice-commands", dana.Pos, dana.Physiology.SpeechLevelDB)
-	after := e.AmbientNoiseDB(coworker)
-	fmt.Printf("coworker's noise floor: %.1f dB -> %.1f dB once dana starts dictating\n", before, after)
 }

@@ -1,81 +1,25 @@
 // Quickstart: model a pervasive computing system in the LPC framework
-// and analyze it, in under a hundred lines.
+// and analyze it — the paper's smart-kettle appliance seen by the
+// engineer who built it and the houseguest who just wants tea.
 //
-// The system is the paper's motivating kind of appliance — a smart
-// kettle with a cloud-of-2000-era twist: a small display, English-only
-// firmware, and a research-grade setup procedure. Two users look at it:
-// the engineer who built it and the houseguest who just wants tea.
+// The scenario itself lives in pkg/aroma/scenarios (a dozen declarative
+// lines against the pkg/aroma facade); this binary just runs it from the
+// registry.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"aroma/internal/core"
-	"aroma/internal/device"
-	"aroma/internal/geo"
-	"aroma/internal/sim"
-	"aroma/internal/user"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios" // register the stock scenarios
 )
 
 func main() {
-	k := sim.New(1)
-
-	// 1. Describe the device column: resources (Figure 3's Mem Sto Exe
-	//    UI Net), application state, and design purpose.
-	kettle := &core.DeviceEntity{
-		Name: "smart-kettle",
-		Pos:  geo.Pt(2, 2),
-		Spec: device.Spec{
-			Name: "smart-kettle", MemBytes: 1 << 20, StoBytes: 1 << 20,
-			ExeMIPS: 8, Exec: device.SingleThreaded, AllowAbort: false,
-			UI: device.UISpec{
-				DisplayW: 96, DisplayH: 32,
-				InputMethods: []string{"buttons"},
-				Languages:    []string{"en"},
-				BaseLatency:  300 * sim.Millisecond,
-			},
-		},
-		AppState: map[string]string{"boiling": "false", "schedule.set": "true"},
-		Purpose: core.DesignPurpose{
-			Description:  "demonstrate schedulable boiling for the lab",
-			Capabilities: map[string]float64{"boil-water": 0.9, "schedule": 0.8, "walk-up-use": 0.3},
-			AssumedSkill: 0.8,
-		},
+	if _, err := scenario.Run("quickstart", scenario.Config{Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	// 2. Describe the user column: faculties, beliefs, goals.
-	guest := user.New(k, "houseguest", user.CasualFaculties())
-	guest.Pos = geo.Pt(2, 3)
-	guest.Goals = []user.Goal{
-		{Name: "cup of tea, now", Needs: []string{"boil-water", "walk-up-use"}, Importance: 1},
-	}
-	// The guest assumes the kettle is idle; the host left a schedule on.
-	guest.Mental.Believe("schedule.set", "false")
-
-	engineer := user.New(k, "engineer", user.ResearcherFaculties())
-	engineer.Pos = geo.Pt(2, 3)
-	engineer.Goals = []user.Goal{
-		{Name: "verify the scheduler", Needs: []string{"schedule"}, Importance: 1},
-	}
-	engineer.Mental.Believe("schedule.set", "true")
-
-	// 3. Assemble the system and analyze.
-	sys := &core.System{Name: "smart-kettle"}
-	sys.AddDevice(kettle)
-	sys.AddUser(&core.UserEntity{U: guest, Operates: []string{"smart-kettle"}})
-	sys.AddUser(&core.UserEntity{U: engineer, Operates: []string{"smart-kettle"}})
-
-	report := core.Analyze(sys, core.DefaultConfig())
-	fmt.Println(core.RenderFigure1())
-	fmt.Println(report.Render())
-
-	// 4. The same analysis without the user column — the OSI-style view
-	//    the paper argues is blind to what actually dooms appliances.
-	ablated := core.Analyze(sys, core.Config{UserColumn: false})
-	fmt.Printf("Without the user column the analyzer sees %d findings instead of %d;\n",
-		len(ablated.Findings), len(report.Findings))
-	fmt.Printf("every violation it misses involves the human: %d vs %d.\n",
-		len(ablated.Violations()), len(report.Violations()))
 }

@@ -3,97 +3,23 @@
 // session grab, VNC-style streaming, a hijack attempt, and mobile-proxy
 // command validation.
 //
+// The scenario body lives in pkg/aroma/scenarios; this binary runs it
+// from the registry.
+//
 //	go run ./examples/smartprojector
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"aroma/internal/discovery"
-	"aroma/internal/env"
-	"aroma/internal/geo"
-	"aroma/internal/mac"
-	"aroma/internal/netsim"
-	"aroma/internal/projector"
-	"aroma/internal/radio"
-	"aroma/internal/rfb"
-	"aroma/internal/sim"
-	"aroma/internal/trace"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios" // register the stock scenarios
 )
 
 func main() {
-	k := sim.New(42)
-	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 30, 20)))
-	med := radio.NewMedium(k, e)
-	m := mac.New(med, mac.Config{})
-	nw := netsim.New(m)
-	log := trace.NewForKernel(k)
-
-	// Conference-room infrastructure.
-	lookupNode := nw.NewNode("lookup", m.AddStation(med.NewRadio("lookup", geo.Pt(15, 18), 6, 15)))
-	discovery.NewLookup(lookupNode).Start()
-
-	projNode := nw.NewNode("projector", m.AddStation(med.NewRadio("projector", geo.Pt(25, 10), 6, 15)))
-	proj := projector.New(projNode, discovery.NewAgent(projNode), log, projector.DefaultConfig())
-
-	// The presenter and a would-be hijacker.
-	aliceNode := nw.NewNode("alice", m.AddStation(med.NewRadio("alice", geo.Pt(5, 10), 6, 15)))
-	alice := projector.NewPresenter("alice", aliceNode, discovery.NewAgent(aliceNode))
-	bobNode := nw.NewNode("bob", m.AddStation(med.NewRadio("bob", geo.Pt(8, 6), 6, 15)))
-	bob := projector.NewPresenter("bob", bobNode, discovery.NewAgent(bobNode))
-
-	k.RunUntil(sim.Second) // discovery announcements propagate
-	proj.Register(func(err error) { must(err) })
-	k.RunUntil(2 * sim.Second)
-
-	// Alice follows the paper's operating discipline: VNC server first,
-	// then both clients.
-	must(alice.StartVNC(1024, 768, rfb.EncRLE))
-	alice.Discover(func(err error) { must(err) })
-	k.RunUntil(3 * sim.Second)
-	alice.GrabProjection(func(err error) { must(err) })
-	alice.GrabControl(func(err error) { must(err) })
-	k.RunUntil(4 * sim.Second)
-
-	// She presents: her screen animates, frames flow to the projector.
-	anim, err := rfb.NewAnimator(alice.VNC.Framebuffer(), 0.02)
-	must(err)
-	k.Ticker(100*sim.Millisecond, "slides", anim.Step)
-	k.RunUntil(34 * sim.Second)
-	fmt.Printf("after 30s of presenting: projector shows %d frames, projecting=%v\n",
-		proj.FramesShown, proj.Projecting())
-
-	// Bob tries to take over mid-presentation.
-	must(bob.StartVNC(800, 600, rfb.EncRLE))
-	bob.Discover(func(err error) { must(err) })
-	k.RunUntil(36 * sim.Second)
-	bob.GrabProjection(func(err error) {
-		fmt.Printf("bob's hijack attempt: %v\n", err)
-	})
-	k.RunUntil(38 * sim.Second)
-
-	// Alice uses the downloaded mobile proxy: an invalid command never
-	// touches the network.
-	alice.Command(projector.CmdPowerToggle, func(err error) {
-		fmt.Printf("power toggle: err=%v, projector power=%v\n", err, proj.Power())
-	})
-	alice.Command(42, func(err error) {
-		fmt.Printf("invalid command rejected locally: %v (round trips saved: %d)\n",
-			err, alice.RoundTripsSaved)
-	})
-	k.RunUntil(40 * sim.Second)
-
-	// Orderly teardown — the step the paper notes users forget.
-	alice.ReleaseProjection(func(err error) { must(err) })
-	alice.ReleaseControl(func(err error) { must(err) })
-	k.RunUntil(42 * sim.Second)
-	fmt.Printf("after release: projecting=%v, projection owner=%q\n",
-		proj.Projecting(), proj.Projection.Owner())
-	fmt.Printf("final app state: %v\n", proj.AppState())
-}
-
-func must(err error) {
-	if err != nil {
-		panic(err)
+	if _, err := scenario.Run("smartprojector", scenario.Config{Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

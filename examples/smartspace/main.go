@@ -1,98 +1,25 @@
 // Smartspace: a room full of information appliances sharing one 2.4 GHz
-// band and one lookup service — the paper's "smart spaces" setting (its
-// adapter work was presented alongside NIST's AirJava smart-spaces
-// effort). Demonstrates dynamic arrival/departure, lease self-cleaning
-// after crashes, subscription events, and the per-device cost of band
-// concentration.
+// band and one lookup service — dynamic arrival/departure, lease
+// self-cleaning after crashes, subscription events, and the per-device
+// cost of band concentration.
+//
+// The scenario body lives in pkg/aroma/scenarios; this binary runs it
+// from the registry.
 //
 //	go run ./examples/smartspace
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"aroma/internal/discovery"
-	"aroma/internal/env"
-	"aroma/internal/geo"
-	"aroma/internal/mac"
-	"aroma/internal/netsim"
-	"aroma/internal/radio"
-	"aroma/internal/sim"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios" // register the stock scenarios
 )
 
 func main() {
-	k := sim.New(7)
-	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 40, 40)))
-	med := radio.NewMedium(k, e)
-	m := mac.New(med, mac.Config{})
-	nw := netsim.New(m)
-
-	lkNode := nw.NewNode("lookup", m.AddStation(med.NewRadio("lookup", geo.Pt(20, 20), 6, 15)))
-	lookup := discovery.NewLookup(lkNode)
-	lookup.Start()
-
-	// A control panel subscribes to every appliance event in the room.
-	panelNode := nw.NewNode("panel", m.AddStation(med.NewRadio("panel", geo.Pt(20, 5), 6, 15)))
-	panel := discovery.NewAgent(panelNode)
-	panel.OnEvent = func(ev discovery.Event) {
-		fmt.Printf("[%8s] panel: %s %q (%s)\n", k.Now(), ev.Kind, ev.Item.Name, ev.Item.Type)
+	if _, err := scenario.Run("smartspace", scenario.Config{Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	k.RunUntil(sim.Second)
-	panel.Subscribe(discovery.Template{}, 10*sim.Minute, func(id uint64, err error) {
-		if err != nil {
-			panic(err)
-		}
-	})
-	k.RunUntil(2 * sim.Second)
-
-	// Appliances power on over the first minute: lights, sensors, a
-	// printer, a coffee maker...
-	kinds := []string{"light", "thermometer", "printer", "coffee-maker", "door-lock", "hvac", "camera", "speaker"}
-	registrations := make(map[string]*discovery.Registration)
-	for i, kind := range kinds {
-		i, kind := i, kind
-		k.Schedule(sim.Time(i+1)*5*sim.Second, "poweron", func() {
-			pos := geo.Pt(float64(5+4*i%30), float64(5+(i*9)%30))
-			node := nw.NewNode(kind, m.AddStation(med.NewRadio(kind, pos, 6, 15)))
-			agent := discovery.NewAgent(node)
-			// Self-configuration: register as soon as the first lookup
-			// announcement is heard — no addresses configured anywhere.
-			agent.OnLookupFound = func(netsim.Addr) {
-				agent.Register(discovery.Item{
-					Name: fmt.Sprintf("%s-1", kind), Type: kind,
-					Attrs: map[string]string{"room": "215"},
-				}, 30*sim.Second, func(r *discovery.Registration, err error) {
-					if err != nil {
-						fmt.Printf("[%8s] %s registration failed: %v\n", k.Now(), kind, err)
-						return
-					}
-					registrations[kind] = r
-					r.AutoRenew(10 * sim.Second)
-				})
-			}
-		})
-	}
-	k.RunUntil(sim.Minute)
-	fmt.Printf("[%8s] registry holds %d services\n", k.Now(), lookup.Count())
-
-	// A client queries by type.
-	panel.Lookup(discovery.Template{Type: "printer"}, func(items []discovery.Item, err error) {
-		if err == nil {
-			fmt.Printf("[%8s] panel finds %d printer(s)\n", k.Now(), len(items))
-		}
-	})
-	k.RunUntil(sim.Minute + 5*sim.Second)
-
-	// The coffee maker crashes (stops renewing); the registry self-heals
-	// within one lease period — no administrator.
-	if r := registrations["coffee-maker"]; r != nil {
-		r.StopAutoRenew()
-		fmt.Printf("[%8s] coffee-maker crashes (renewals stop)\n", k.Now())
-	}
-	k.RunUntil(2 * sim.Minute)
-	fmt.Printf("[%8s] registry holds %d services after self-cleaning\n", k.Now(), lookup.Count())
-
-	// Band concentration: how busy did the shared channel get?
-	fmt.Printf("medium totals: %d frames sent, %d delivered, %d lost to the shared band\n",
-		med.Sent, med.Delivered, med.Lost)
 }

@@ -1,98 +1,25 @@
 // Walkabout: the mobility story — a presenter starts a projection and
-// then wanders the building with the laptop. Rate adaptation fights the
-// growing distance, frames thin out, and at the range edge the stream
-// dies and the forgotten session is reclaimed for the next user. Nothing
-// failed; the environment changed — which is the paper's definition of
-// what makes computing "pervasive" hard.
+// wanders the building with the laptop until the stream dies at the
+// range edge and the forgotten session is reclaimed. Nothing failed; the
+// environment changed.
+//
+// The scenario body lives in pkg/aroma/scenarios; this binary runs it
+// from the registry.
 //
 //	go run ./examples/walkabout
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"aroma/internal/discovery"
-	"aroma/internal/env"
-	"aroma/internal/geo"
-	"aroma/internal/mac"
-	"aroma/internal/mobility"
-	"aroma/internal/netsim"
-	"aroma/internal/projector"
-	"aroma/internal/radio"
-	"aroma/internal/rfb"
-	"aroma/internal/sim"
-	"aroma/internal/trace"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios" // register the stock scenarios
 )
 
 func main() {
-	k := sim.New(11)
-	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 400, 60)))
-	med := radio.NewMedium(k, e)
-	m := mac.New(med, mac.Config{})
-	nw := netsim.New(m)
-	log := trace.NewForKernel(k)
-
-	lkNode := nw.NewNode("lookup", m.AddStation(med.NewRadio("lookup", geo.Pt(25, 30), 6, 15)))
-	discovery.NewLookup(lkNode).Start()
-
-	projNode := nw.NewNode("projector", m.AddStation(med.NewRadio("projector", geo.Pt(30, 30), 6, 15)))
-	cfg := projector.DefaultConfig()
-	cfg.IdleLimit = 45 * sim.Second
-	proj := projector.New(projNode, discovery.NewAgent(projNode), log, cfg)
-
-	laptopRadio := med.NewRadio("alice", geo.Pt(20, 30), 6, 15)
-	aliceNode := nw.NewNode("alice", m.AddStation(laptopRadio))
-	alice := projector.NewPresenter("alice", aliceNode, discovery.NewAgent(aliceNode))
-
-	k.RunUntil(sim.Second)
-	proj.Register(nil)
-	k.RunUntil(3 * sim.Second)
-	must(alice.StartVNC(640, 480, rfb.EncRLE))
-	alice.Discover(func(err error) { must(err) })
-	k.RunUntil(4 * sim.Second)
-	alice.GrabProjection(func(err error) { must(err) })
-	k.RunUntil(5 * sim.Second)
-
-	anim, err := rfb.NewAnimator(alice.VNC.Framebuffer(), 0.05)
-	must(err)
-	anim.Textured = true
-	k.Ticker(100*sim.Millisecond, "anim", anim.Step)
-
-	// The walkabout: down the corridor, around the far wing, and out.
-	walk := mobility.Patrol([]geo.Point{
-		geo.Pt(20, 30), geo.Pt(150, 30), geo.Pt(330, 30), geo.Pt(330, 10),
-	}, 3.0)
-	walk.Waypoints = walk.Waypoints[:len(walk.Waypoints)-1] // don't come back
-	mobility.Start(k, walk, 500*sim.Millisecond, func(p geo.Point) { laptopRadio.Pos = p })
-
-	fmt.Println("time     distance  SNR(dB)  rate(Mb/s)  frames-in-window  session")
-	prev := uint64(0)
-	for w := 0; w < 16; w++ {
-		k.RunUntil(k.Now() + 15*sim.Second)
-		dist := laptopRadio.Pos.Dist(projNode.Station().Radio().Pos)
-		snr := med.SNRAtDBm(laptopRadio, projNode.Station().Radio())
-		rate := 0.0
-		if snr >= radio.Rates[0].MinSINRdB {
-			rate = radio.PickRate(snr).Mbps
-		}
-		holder := proj.Projection.Owner()
-		if holder == "" {
-			holder = "(free)"
-		}
-		fmt.Printf("%-8s %7.0fm  %6.1f  %9.1f  %17d  %s\n",
-			k.Now(), dist, snr, rate, proj.FramesShown-prev, holder)
-		prev = proj.FramesShown
-		if !proj.Projection.Held() && w > 4 {
-			break
-		}
-	}
-	fmt.Printf("\nprojector showed %d frames total; session end events in trace: %d\n",
-		proj.FramesShown, len(log.BySeverity(trace.Issue)))
-	fmt.Println("no component failed — the environment reclaimed the system's semantics")
-}
-
-func must(err error) {
-	if err != nil {
-		panic(err)
+	if _, err := scenario.Run("walkabout", scenario.Config{Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,3 @@
+module aroma
+
+go 1.24

@@ -18,6 +18,10 @@
 // analysis section. The analyzer can also be run with the user column
 // disabled (the OSI-style view the paper argues against), which is the
 // ablation showing which issues become invisible.
+//
+// Most callers should not assemble a System by hand: the pkg/aroma
+// facade builds one from a running world (AddDevice / AddUser / Link)
+// and folds the runtime trace in via World.Analyze.
 package core
 
 import (

@@ -1,0 +1,40 @@
+// Options-friendly construction of the analysis Config, for callers
+// (notably pkg/aroma) that compose configuration declaratively instead
+// of filling in struct fields.
+
+package core
+
+// AnalysisOption adjusts an analysis Config.
+type AnalysisOption func(*Config)
+
+// WithoutUserColumn disables the user side of every layer — the
+// OSI-style device-only view the paper argues against (the ablation arm).
+func WithoutUserColumn() AnalysisOption {
+	return func(c *Config) { c.UserColumn = false }
+}
+
+// WithConsistencyThreshold sets the minimum mental-model consistency
+// score before the abstract layer flags a violation.
+func WithConsistencyThreshold(t float64) AnalysisOption {
+	return func(c *Config) { c.ConsistencyThreshold = t }
+}
+
+// WithHarmonyThreshold sets the minimum goal harmony before the
+// intentional layer flags a violation.
+func WithHarmonyThreshold(t float64) AnalysisOption {
+	return func(c *Config) { c.HarmonyThreshold = t }
+}
+
+// NewConfig builds a Config starting from DefaultConfig.
+func NewConfig(opts ...AnalysisOption) Config {
+	cfg := DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// AnalyzeWith runs Analyze with a Config assembled from options.
+func AnalyzeWith(s *System, opts ...AnalysisOption) *Report {
+	return Analyze(s, NewConfig(opts...))
+}

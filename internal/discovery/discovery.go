@@ -152,8 +152,29 @@ type subscription struct {
 	lease  *lease.Lease
 }
 
+// LookupOption configures a Lookup at construction time.
+type LookupOption func(*Lookup)
+
+// WithAnnouncePeriod sets how often the lookup multicasts its presence.
+func WithAnnouncePeriod(t sim.Time) LookupOption {
+	return func(l *Lookup) {
+		if t > 0 {
+			l.AnnouncePeriod = t
+		}
+	}
+}
+
+// WithMaxLease caps the lease duration the lookup grants registrants.
+func WithMaxLease(t sim.Time) LookupOption {
+	return func(l *Lookup) {
+		if t > 0 {
+			l.leases.MaxDuration = t
+		}
+	}
+}
+
 // NewLookup creates a lookup service on the given node.
-func NewLookup(node *netsim.Node) *Lookup {
+func NewLookup(node *netsim.Node, opts ...LookupOption) *Lookup {
 	tbl := lease.NewTable(node.Kernel())
 	tbl.MaxDuration = MaxLeaseDuration
 	l := &Lookup{
@@ -161,6 +182,9 @@ func NewLookup(node *netsim.Node) *Lookup {
 		leases: tbl,
 		items:  make(map[ServiceID]*registration),
 		subs:   make(map[uint64]*subscription),
+	}
+	for _, opt := range opts {
+		opt(l)
 	}
 	node.HandleRequest(netsim.PortDiscovery, l.serve)
 	return l

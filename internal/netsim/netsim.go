@@ -8,6 +8,10 @@
 // automatically available [and] self-configuring"; netsim keeps zero
 // manual configuration: nodes get addresses when created and multicast
 // membership is a single Join call.
+//
+// Scenario code normally reaches this package through the pkg/aroma
+// facade, which wires radios, MAC stations, and nodes in one AddDevice
+// call.
 package netsim
 
 import (
@@ -78,10 +82,12 @@ type RequestHandler func(src Addr, data []byte) []byte
 
 // Network owns the nodes built over one MAC.
 type Network struct {
-	kernel *sim.Kernel
-	mac    *mac.MAC
-	nodes  map[Addr]*Node
-	msgSeq uint64
+	kernel      *sim.Kernel
+	mac         *mac.MAC
+	nodes       map[Addr]*Node
+	msgSeq      uint64
+	defaultMTU  int
+	callTimeout sim.Time
 
 	// Stats
 	DatagramsSent  uint64
@@ -90,9 +96,42 @@ type Network struct {
 	CallsTimedOut  uint64
 }
 
+// Option configures a Network at construction time.
+type Option func(*Network)
+
+// WithMTU sets the fragmentation threshold new nodes start with
+// (individual nodes may still override their MTU field).
+func WithMTU(bytes int) Option {
+	return func(n *Network) {
+		if bytes > 0 {
+			n.defaultMTU = bytes
+		}
+	}
+}
+
+// WithCallTimeout sets the default deadline for Call when the caller
+// passes a non-positive timeout.
+func WithCallTimeout(t sim.Time) Option {
+	return func(n *Network) {
+		if t > 0 {
+			n.callTimeout = t
+		}
+	}
+}
+
 // New creates a network over the given MAC layer.
-func New(m *mac.MAC) *Network {
-	return &Network{kernel: m.Medium().Kernel(), mac: m, nodes: make(map[Addr]*Node)}
+func New(m *mac.MAC, opts ...Option) *Network {
+	n := &Network{
+		kernel:      m.Medium().Kernel(),
+		mac:         m,
+		nodes:       make(map[Addr]*Node),
+		defaultMTU:  DefaultMTU,
+		callTimeout: DefaultCallTimeout,
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
 }
 
 // Kernel returns the owning simulation kernel.
@@ -144,7 +183,7 @@ func (n *Network) NewNode(name string, st *mac.Station) *Node {
 		groups:      make(map[Group]bool),
 		reassembly:  make(map[reasmKey]*reasmState),
 		pending:     make(map[uint64]*pendingCall),
-		MTU:         DefaultMTU,
+		MTU:         n.defaultMTU,
 	}
 	n.nodes[st.Addr()] = node
 	st.OnReceive = node.onFrame
@@ -209,10 +248,11 @@ func (nd *Node) SendMulticast(g Group, port Port, data []byte) {
 }
 
 // Call sends a request to dst:port and invokes done with the response or
-// an error. A non-positive timeout uses DefaultCallTimeout.
+// an error. A non-positive timeout uses the network's configured default
+// (DefaultCallTimeout unless overridden with WithCallTimeout).
 func (nd *Node) Call(dst Addr, port Port, req []byte, timeout sim.Time, done func(resp []byte, err error)) {
 	if timeout <= 0 {
-		timeout = DefaultCallTimeout
+		timeout = nd.net.callTimeout
 	}
 	nd.net.CallsStarted++
 	nd.net.msgSeq++

@@ -100,6 +100,12 @@ type Log struct {
 	clock   func() sim.Time
 	events  []Event
 	minKeep Severity
+
+	// OnRecord, if set, observes every kept event immediately after it is
+	// appended, in record order. It is the bridge by which live consumers
+	// (e.g. the pkg/aroma event bus) subscribe to the trace without
+	// polling. The callback must not mutate the log.
+	OnRecord func(Event)
 }
 
 // New creates a log that timestamps events with the given clock function.
@@ -127,13 +133,17 @@ func (l *Log) Record(layer Layer, sev Severity, entity, format string, args ...a
 	if l == nil || sev < l.minKeep {
 		return
 	}
-	l.events = append(l.events, Event{
+	ev := Event{
 		At:       l.clock(),
 		Layer:    layer,
 		Severity: sev,
 		Entity:   entity,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	l.events = append(l.events, ev)
+	if l.OnRecord != nil {
+		l.OnRecord(ev)
+	}
 }
 
 // Issue records an Issue-severity event.

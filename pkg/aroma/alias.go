@@ -1,0 +1,105 @@
+// Re-exports of the internal vocabulary types that appear in the facade
+// API, so a facade caller needs only this package for the common cases:
+// time units, geometry, device specs, user faculties, and analysis
+// options.
+
+package aroma
+
+import (
+	"aroma/internal/core"
+	"aroma/internal/device"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+	"aroma/internal/trace"
+	"aroma/internal/user"
+)
+
+// Time is a point in virtual simulation time (see internal/sim).
+type Time = sim.Time
+
+// Virtual-time unit aliases.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// Point is a 2D position in metres.
+type Point = geo.Point
+
+// Pt returns the point (x, y).
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// Spec describes an appliance's resources (the LPC resource layer).
+type Spec = device.Spec
+
+// UISpec describes a device's user-interface resource.
+type UISpec = device.UISpec
+
+// ExecModel is a device execution engine's concurrency model.
+type ExecModel = device.ExecModel
+
+// Execution models.
+const (
+	MultiThreaded  = device.MultiThreaded
+	SingleThreaded = device.SingleThreaded
+)
+
+// AdapterSpec is the paper's embedded Aroma Adapter device spec.
+func AdapterSpec() Spec { return device.AromaAdapterSpec() }
+
+// LaptopSpec is a 2000-era presenter laptop spec.
+func LaptopSpec() Spec { return device.LaptopSpec() }
+
+// PDASpec is the paper's doomed constrained-PDA spec.
+func PDASpec() Spec { return device.PDASpec() }
+
+// Faculties are a user's capabilities (languages, patience, skill).
+type Faculties = user.Faculties
+
+// Goal is one user goal with the capabilities it needs.
+type Goal = user.Goal
+
+// Researcher returns the faculties of the paper's researcher audience.
+func Researcher() Faculties { return user.ResearcherFaculties() }
+
+// Casual returns the faculties of the paper's casual-user audience.
+func Casual() Faculties { return user.CasualFaculties() }
+
+// Purpose is a device's design purpose (the LPC intentional layer).
+type Purpose = core.DesignPurpose
+
+// Report is the classified output of an LPC analysis.
+type Report = core.Report
+
+// Finding is one classified concern in a Report.
+type Finding = core.Finding
+
+// Layer identifies one of the five LPC layers.
+type Layer = trace.Layer
+
+// The five LPC layers, bottom-up.
+const (
+	Environment = trace.Environment
+	Physical    = trace.Physical
+	Resource    = trace.Resource
+	Abstract    = trace.Abstract
+	Intentional = trace.Intentional
+)
+
+// Severity grades trace events and findings.
+type Severity = trace.Severity
+
+// Severity levels.
+const (
+	Debug     = trace.Debug
+	Info      = trace.Info
+	Issue     = trace.Issue
+	Violation = trace.Violation
+)
+
+// TraceEvent is one recorded runtime trace event.
+type TraceEvent = trace.Event

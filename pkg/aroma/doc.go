@@ -1,0 +1,30 @@
+// Package aroma is the batteries-included facade over the Aroma
+// simulation substrates. It assembles the full five-layer stack —
+// deterministic kernel, environment, radio medium, CSMA/CA MAC, packet
+// network, discovery, and the LPC analyzer — behind one coherent API so
+// that a complete pervasive-computing scenario is a few declarative
+// lines instead of a hundred lines of hand wiring.
+//
+// A World is created with functional options and populated with fluent
+// entity constructors that auto-wire radios, MAC stations, network
+// nodes, and model entities:
+//
+//	w := aroma.NewWorld(aroma.WithSeed(42), aroma.WithArena(30, 20))
+//	lookup := w.AddLookup("lookup", aroma.Pt(15, 18))
+//	proj := w.AddDevice("projector", aroma.Pt(25, 10),
+//		aroma.WithSpec(aroma.AdapterSpec()))
+//	alice := w.AddUser("alice", aroma.Pt(5, 10),
+//		aroma.WithFaculties(aroma.Researcher()),
+//		aroma.Operating("projector"))
+//	w.RunFor(5 * aroma.Minute)
+//	report := w.Analyze()
+//
+// The unified lifecycle (RunFor, RunUntil, Step, Stop) drives the
+// event-driven kernel; a typed event bus (Events, Subscribe) bridges the
+// runtime trace to live subscribers in record order; Analyze folds the
+// whole run into a classified core.Report.
+//
+// Scenario authors who want a named, reusable workload should register
+// it with the sibling package pkg/aroma/scenario; the stock scenarios
+// ported from examples/ live in pkg/aroma/scenarios.
+package aroma

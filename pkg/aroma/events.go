@@ -1,0 +1,68 @@
+package aroma
+
+import "aroma/internal/trace"
+
+// Bus is the world's typed event bus: it bridges the runtime trace to
+// live subscribers. Events are delivered synchronously, in record order,
+// to subscribers in subscription order — fully deterministic, like
+// everything else on the kernel.
+type Bus struct {
+	subs       []*busSub
+	Published  uint64
+	Deliveries uint64
+}
+
+type busSub struct {
+	min trace.Severity
+	fn  func(trace.Event)
+}
+
+func newBus() *Bus { return &Bus{} }
+
+// Subscribe registers fn for every event at or above min severity and
+// returns a cancel function. Cancelling twice is a no-op. Subscribing
+// from inside a delivery is allowed; the new subscriber sees the next
+// event.
+func (b *Bus) Subscribe(min trace.Severity, fn func(trace.Event)) (cancel func()) {
+	b.compact()
+	s := &busSub{min: min, fn: fn}
+	b.subs = append(b.subs, s)
+	return func() { s.fn = nil }
+}
+
+// compact drops cancelled subscribers, preserving order. It builds a
+// fresh slice rather than shifting in place: publish may be iterating a
+// snapshot of the old backing array, which must stay intact.
+func (b *Bus) compact() {
+	live := make([]*busSub, 0, len(b.subs))
+	for _, s := range b.subs {
+		if s.fn != nil {
+			live = append(live, s)
+		}
+	}
+	b.subs = live
+}
+
+// Subscribers returns the number of live subscriptions.
+func (b *Bus) Subscribers() int {
+	n := 0
+	for _, s := range b.subs {
+		if s.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// publish fans one event out to the live subscribers. It iterates a
+// snapshot of the list so callbacks may subscribe or cancel reentrantly.
+func (b *Bus) publish(ev trace.Event) {
+	b.Published++
+	snapshot := b.subs
+	for _, s := range snapshot {
+		if s.fn != nil && ev.Severity >= s.min {
+			b.Deliveries++
+			s.fn(ev)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package aroma
+
+import (
+	"aroma/internal/core"
+	"aroma/internal/geo"
+	"aroma/internal/mac"
+	"aroma/internal/netsim"
+	"aroma/internal/sim"
+	"aroma/internal/trace"
+)
+
+// Option configures a World at construction time.
+type Option func(*worldOptions)
+
+type worldOptions struct {
+	name           string
+	seed           int64
+	plan           *geo.FloorPlan
+	arenaW, arenaH float64
+	macConfig      mac.Config
+	channel        int
+	txPowerDBm     float64
+	traceMin       trace.Severity
+	netOpts        []netsim.Option
+	announcePeriod sim.Time
+	analysis       []core.AnalysisOption
+}
+
+func defaultWorldOptions() worldOptions {
+	return worldOptions{
+		name:       "world",
+		seed:       1,
+		arenaW:     30,
+		arenaH:     20,
+		channel:    6,
+		txPowerDBm: 15,
+		traceMin:   trace.Debug,
+	}
+}
+
+// WithName names the world; the name becomes the analyzed system's name.
+func WithName(name string) Option {
+	return func(o *worldOptions) { o.name = name }
+}
+
+// WithSeed seeds the deterministic kernel. The same seed always yields
+// the same run. The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(o *worldOptions) { o.seed = seed }
+}
+
+// WithArena sets the floor-plan bounds to a w×h metre rectangle at the
+// origin. The default arena is 30×20 m.
+func WithArena(w, h float64) Option {
+	return func(o *worldOptions) { o.arenaW, o.arenaH = w, h }
+}
+
+// WithFloorPlan supplies a complete floor plan (walls included),
+// overriding WithArena.
+func WithFloorPlan(plan *geo.FloorPlan) Option {
+	return func(o *worldOptions) { o.plan = plan }
+}
+
+// WithMAC sets the medium-access parameters (backoff policy, retries).
+func WithMAC(cfg mac.Config) Option {
+	return func(o *worldOptions) { o.macConfig = cfg }
+}
+
+// WithRadioDefaults sets the channel and transmit power newly added
+// devices use unless overridden per device. Defaults: channel 6, 15 dBm.
+func WithRadioDefaults(channel int, txPowerDBm float64) Option {
+	return func(o *worldOptions) {
+		o.channel = channel
+		o.txPowerDBm = txPowerDBm
+	}
+}
+
+// WithTraceMin discards trace events below the given severity.
+func WithTraceMin(min trace.Severity) Option {
+	return func(o *worldOptions) { o.traceMin = min }
+}
+
+// WithNetwork forwards options to the packet network (MTU, call timeout).
+func WithNetwork(opts ...netsim.Option) Option {
+	return func(o *worldOptions) { o.netOpts = append(o.netOpts, opts...) }
+}
+
+// WithAnnouncePeriod sets how often lookup services added with AddLookup
+// announce themselves.
+func WithAnnouncePeriod(t sim.Time) Option {
+	return func(o *worldOptions) { o.announcePeriod = t }
+}
+
+// WithAnalysis appends default analysis options applied by Analyze.
+func WithAnalysis(opts ...core.AnalysisOption) Option {
+	return func(o *worldOptions) { o.analysis = append(o.analysis, opts...) }
+}

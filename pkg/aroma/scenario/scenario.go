@@ -1,0 +1,185 @@
+// Package scenario is a registry of named, reusable Aroma workloads.
+//
+// A scenario is a function that assembles a world through the pkg/aroma
+// facade, drives it, narrates to cfg.Out, and returns a Result (sim
+// time, event count, and the LPC report when the scenario analyzes one).
+// Registering it by name makes it runnable from anywhere — cmd/aromasim
+// runs any registered scenario by flag, batch-runs them all for
+// comparison tables, and each examples/ binary is a two-line call into
+// this registry. The stock scenarios live in pkg/aroma/scenarios;
+// importing that package (usually blank) populates the registry.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"aroma/internal/core"
+	"aroma/internal/sim"
+	"aroma/internal/trace"
+)
+
+// Config parametrizes one scenario run.
+type Config struct {
+	// Seed for the deterministic kernel; 0 means the scenario's classic
+	// seed (the one its original example shipped with).
+	Seed int64
+	// Horizon bounds the simulated duration; 0 means the scenario's
+	// default.
+	Horizon sim.Time
+	// Verbose asks the scenario for its full trace / extra detail.
+	Verbose bool
+	// Out receives the scenario's narrative output; nil discards it
+	// (headless runs).
+	Out io.Writer
+}
+
+// Printf writes formatted narrative output; a nil Out discards it.
+func (c Config) Printf(format string, args ...any) {
+	if c.Out == nil {
+		return
+	}
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// Println writes one narrative line; a nil Out discards it.
+func (c Config) Println(args ...any) {
+	if c.Out == nil {
+		return
+	}
+	fmt.Fprintln(c.Out, args...)
+}
+
+// SeedOr returns the configured seed, or def when unset.
+func (c Config) SeedOr(def int64) int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return def
+}
+
+// HorizonOr returns the configured horizon, or def when unset.
+func (c Config) HorizonOr(def sim.Time) sim.Time {
+	if c.Horizon != 0 {
+		return c.Horizon
+	}
+	return def
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	Name    string
+	Seed    int64
+	SimTime sim.Time
+	Steps   uint64
+	// Report is the scenario's LPC analysis, when it performs one.
+	Report *core.Report
+}
+
+// Findings returns the number of report findings (0 without a report).
+func (r *Result) Findings() int {
+	if r == nil || r.Report == nil {
+		return 0
+	}
+	return len(r.Report.Findings)
+}
+
+// Issues returns the number of findings at Issue severity or above.
+func (r *Result) Issues() int {
+	if r == nil || r.Report == nil {
+		return 0
+	}
+	return r.Report.CountBySeverity(trace.Issue)
+}
+
+// Violations returns the number of Violation-severity findings.
+func (r *Result) Violations() int {
+	if r == nil || r.Report == nil {
+		return 0
+	}
+	return len(r.Report.Violations())
+}
+
+// Func runs one scenario under the given configuration.
+type Func func(cfg Config) (*Result, error)
+
+// Scenario is one registry entry.
+type Scenario struct {
+	Name        string
+	Description string
+	Run         Func
+}
+
+var registry = make(map[string]Scenario)
+
+// Register adds a scenario under a unique name. It panics on an empty
+// name, a nil func, or a duplicate — registration happens in package
+// init, where misuse is a programming error.
+func Register(name, description string, fn Func) {
+	if name == "" {
+		panic("scenario: empty name")
+	}
+	if fn == nil {
+		panic("scenario: nil func for " + name)
+	}
+	if _, dup := registry[name]; dup {
+		panic("scenario: duplicate registration of " + name)
+	}
+	registry[name] = Scenario{Name: name, Description: description, Run: fn}
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the named scenario and whether it exists.
+func Get(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []Scenario {
+	out := make([]Scenario, 0, len(registry))
+	for _, name := range Names() {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Run executes the named scenario. A nil cfg.Out runs it headlessly.
+// A panic inside the scenario (the examples' must-style assertions) is
+// recovered and returned as an error, so batch runs survive one bad
+// scenario.
+func Run(name string, cfg Config) (res *Result, err error) {
+	s, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, Names())
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("scenario %s: panic: %v", name, r)
+		}
+	}()
+	res, err = s.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	if res.Name == "" {
+		res.Name = name
+	}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aroma/internal/sim"
+)
+
+// Registry state is package-global; tests use distinct names to stay
+// independent of each other and of any registered stock scenarios.
+
+func TestRegisterAndRun(t *testing.T) {
+	var gotCfg Config
+	Register("test-basic", "a test scenario", func(cfg Config) (*Result, error) {
+		gotCfg = cfg
+		cfg.Println("narrative line")
+		return &Result{SimTime: 3 * sim.Second, Steps: 7}, nil
+	})
+
+	var out strings.Builder
+	res, err := Run("test-basic", Config{Seed: 9, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "test-basic" {
+		t.Errorf("result name = %q (Run should fill it in)", res.Name)
+	}
+	if res.SimTime != 3*sim.Second || res.Steps != 7 {
+		t.Errorf("result = %+v", res)
+	}
+	if gotCfg.Seed != 9 {
+		t.Errorf("cfg.Seed = %d, want 9", gotCfg.Seed)
+	}
+	if out.String() != "narrative line\n" {
+		t.Errorf("narrative = %q", out.String())
+	}
+
+	s, ok := Get("test-basic")
+	if !ok || s.Description != "a test scenario" {
+		t.Errorf("Get = %+v, %v", s, ok)
+	}
+}
+
+func TestRunHeadless(t *testing.T) {
+	Register("test-headless", "", func(cfg Config) (*Result, error) {
+		// nil Out must have been replaced; printing must not crash.
+		cfg.Printf("discarded %d\n", 1)
+		return nil, nil
+	})
+	res, err := Run("test-headless", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Name != "test-headless" {
+		t.Errorf("headless result = %+v", res)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("no-such-scenario", Config{}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	Register("test-panics", "", func(cfg Config) (*Result, error) {
+		panic("must-style assertion failed")
+	})
+	_, err := Run("test-panics", Config{})
+	if err == nil || !strings.Contains(err.Error(), "must-style") {
+		t.Errorf("panic not surfaced as error: %v", err)
+	}
+}
+
+func TestRunWrapsError(t *testing.T) {
+	sentinel := errors.New("boom")
+	Register("test-errors", "", func(cfg Config) (*Result, error) {
+		return nil, sentinel
+	})
+	_, err := Run("test-errors", Config{})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error not wrapped: %v", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("test-dup", "", func(cfg Config) (*Result, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register("test-dup", "", func(cfg Config) (*Result, error) { return nil, nil })
+}
+
+func TestNamesSorted(t *testing.T) {
+	Register("test-zz", "", func(cfg Config) (*Result, error) { return nil, nil })
+	Register("test-aa", "", func(cfg Config) (*Result, error) { return nil, nil })
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.SeedOr(42) != 42 || c.HorizonOr(sim.Minute) != sim.Minute {
+		t.Error("zero config must defer to scenario defaults")
+	}
+	c = Config{Seed: 7, Horizon: sim.Hour}
+	if c.SeedOr(42) != 7 || c.HorizonOr(sim.Minute) != sim.Hour {
+		t.Error("explicit config must win")
+	}
+}
+
+func TestResultHelpersNilSafe(t *testing.T) {
+	var r *Result
+	if r.Findings() != 0 || r.Issues() != 0 || r.Violations() != 0 {
+		t.Error("nil result helpers must return 0")
+	}
+	r = &Result{}
+	if r.Findings() != 0 {
+		t.Error("report-less result helpers must return 0")
+	}
+}

@@ -1,0 +1,80 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"aroma/pkg/aroma/scenario"
+)
+
+// The five example scenarios plus the lab run must all be registered.
+func TestStockScenariosRegistered(t *testing.T) {
+	for _, name := range []string{"quickstart", "noisyoffice", "smartspace", "smartprojector", "walkabout", "lab"} {
+		if _, ok := scenario.Get(name); !ok {
+			t.Errorf("stock scenario %q not registered", name)
+		}
+	}
+}
+
+// Registry round-trip: run the quickstart headlessly and check the
+// analysis is the paper's (violations at the human-facing layers).
+func TestQuickstartHeadlessRoundTrip(t *testing.T) {
+	res, err := scenario.Run("quickstart", scenario.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "quickstart" || res.Seed != 1 {
+		t.Errorf("result identity = %q seed %d", res.Name, res.Seed)
+	}
+	if res.Report == nil {
+		t.Fatal("quickstart returned no report")
+	}
+	if res.Findings() < 5 {
+		t.Errorf("findings = %d, want the kettle's full set", res.Findings())
+	}
+	if res.Violations() == 0 {
+		t.Error("quickstart must find user-column violations")
+	}
+}
+
+// The narrative must reach the configured writer.
+func TestQuickstartNarrates(t *testing.T) {
+	var out strings.Builder
+	if _, err := scenario.Run("quickstart", scenario.Config{Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "LPC analysis", "Without the user column"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("narrative missing %q", want)
+		}
+	}
+}
+
+// Seeds propagate from config to the world.
+func TestSeedOverride(t *testing.T) {
+	res, err := scenario.Run("quickstart", scenario.Config{Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 1234 {
+		t.Errorf("seed = %d, want 1234", res.Seed)
+	}
+}
+
+// A short live-substrate scenario end-to-end through the registry: the
+// smart space arrives, self-configures, and self-heals.
+func TestSmartSpaceHeadless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~2 simulated minutes of radio traffic")
+	}
+	res, err := scenario.Run("smartspace", scenario.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("smartspace executed no events")
+	}
+	if res.Report == nil {
+		t.Error("smartspace returned no report")
+	}
+}
