@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 
 	"aroma/internal/lease"
 	"aroma/internal/netsim"
@@ -326,6 +327,10 @@ func (l *Lookup) serveLookup(req request) []byte {
 			out = append(out, reg.item)
 		}
 	}
+	// Items live in a map; return them sorted by ServiceID so every run
+	// with a given seed resolves the same service (and clients that take
+	// the first match behave reproducibly).
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return mustJSON(response{OK: true, Items: out})
 }
 
@@ -362,9 +367,18 @@ func (l *Lookup) serveUnsubscribe(req request) []byte {
 	return mustJSON(response{OK: true})
 }
 
-// notify delivers a registration-change event to matching subscribers.
+// notify delivers a registration-change event to matching subscribers in
+// ascending subscription-ID order. Subscriptions live in a map; iterating
+// it directly would hand simultaneous deliveries different kernel
+// sequence numbers on every run, breaking seed reproducibility.
 func (l *Lookup) notify(kind EventKind, item Item) {
-	for _, sub := range l.subs {
+	ids := make([]uint64, 0, len(l.subs))
+	for id := range l.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sub := l.subs[id]
 		if !sub.tmpl.Matches(item) {
 			continue
 		}

@@ -314,3 +314,79 @@ func TestStopAnnouncing(t *testing.T) {
 		t.Fatal("announcements continued after Stop")
 	}
 }
+
+func TestLookupResultsSortedByServiceID(t *testing.T) {
+	k, lk, agents := rig(1, 1)
+	lk.Start()
+	k.RunFor(6 * sim.Second) // hear the announcement
+	a := agents[0]
+	// Register several services of the same type; registration order is
+	// driven by distinct call times so IDs are assigned 1..n.
+	const n = 6
+	for i := 0; i < n; i++ {
+		a.Register(Item{Name: "svc", Type: "printer"}, 0, func(_ *Registration, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		k.RunFor(200 * sim.Millisecond)
+	}
+	for trial := 0; trial < 5; trial++ {
+		var got []Item
+		a.Lookup(Template{Type: "printer"}, func(items []Item, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			got = items
+		})
+		k.RunFor(sim.Second)
+		if len(got) != n {
+			t.Fatalf("trial %d: items = %d, want %d", trial, len(got), n)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].ID >= got[i].ID {
+				t.Fatalf("trial %d: items not sorted by ServiceID: %v then %v", trial, got[i-1].ID, got[i].ID)
+			}
+		}
+	}
+}
+
+func TestNotifyDeliversInSubscriptionIDOrder(t *testing.T) {
+	k, lk, agents := rig(1, 4)
+	lk.Start()
+	k.RunFor(6 * sim.Second)
+	// Subscribers 1..3 (agents 1..3) watch for printers; agent 0 registers.
+	subOf := map[*Agent]uint64{}
+	for _, a := range agents[1:] {
+		a := a
+		a.Subscribe(Template{Type: "printer"}, 0, func(id uint64, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			subOf[a] = id
+		})
+		k.RunFor(300 * sim.Millisecond)
+	}
+	if lk.Subscribers() != 3 {
+		t.Fatalf("subscribers = %d", lk.Subscribers())
+	}
+	var order []uint64
+	for _, a := range agents[1:] {
+		a := a
+		a.OnEvent = func(ev Event) {
+			if ev.Kind == EventRegistered {
+				order = append(order, subOf[a])
+			}
+		}
+	}
+	agents[0].Register(Item{Name: "p", Type: "printer"}, 0, nil)
+	k.RunFor(2 * sim.Second)
+	if len(order) != 3 {
+		t.Fatalf("events delivered = %d, want 3", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("events not in ascending subscription-ID order: %v", order)
+		}
+	}
+}

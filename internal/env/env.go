@@ -66,7 +66,9 @@ type Environment struct {
 
 	// ShadowSigmaDB is the standard deviation of log-normal shadow
 	// fading. Shadowing is frozen per (tx, rx) grid cell so that repeated
-	// measurements at the same positions agree (deterministic field).
+	// measurements at the same positions agree (deterministic field), and
+	// draws are clamped to ±3 sigma so MaxRangeForCutoff's hearing-range
+	// bound is exact rather than probabilistic.
 	ShadowSigmaDB float64
 
 	// AmbientNoiseDBm is extra wideband RF noise added to the thermal
@@ -134,6 +136,11 @@ func (e *Environment) shadow(tx, rx geo.Point) float64 {
 		return v
 	}
 	v := e.kernel.Rand().NormFloat64() * e.ShadowSigmaDB
+	if limit := 3 * e.ShadowSigmaDB; v > limit {
+		v = limit
+	} else if v < -limit {
+		v = -limit
+	}
 	e.shadowCells[key] = v
 	return v
 }
@@ -165,6 +172,23 @@ func (e *Environment) EstimateDistanceFromRSSI(txPowerDBm, rssiDBm float64) floa
 	lossDB := txPowerDBm - rssiDBm
 	exp := (lossDB - ReferenceLossDB) / (10 * e.PathLossExponent)
 	return math.Pow(10, exp)
+}
+
+// MaxRangeForCutoff returns a conservative upper bound, in metres, on the
+// distance at which a transmitter at txPowerDBm can still be received at or
+// above cutoffDBm. It inverts the log-distance model assuming the
+// best-possible path: no walls (walls only attenuate) and the maximum
+// 3-sigma shadow-fading gain (shadow draws are clamped there). Any radio
+// farther away than this bound is guaranteed to receive below the cutoff,
+// so spatial indexes may skip it without changing physics. The bound is
+// never below the 1 m reference distance.
+func (e *Environment) MaxRangeForCutoff(txPowerDBm, cutoffDBm float64) float64 {
+	budget := txPowerDBm - cutoffDBm - ReferenceLossDB + 3*e.ShadowSigmaDB
+	d := math.Pow(10, budget/(10*e.PathLossExponent))
+	if d < 1 {
+		return 1
+	}
+	return d
 }
 
 // NoiseSource is an acoustic noise emitter: conversation, HVAC, a crowd.

@@ -260,3 +260,34 @@ func TestPropertyRxBelowTx(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: MaxRangeForCutoff is conservative — any receiver inside the
+// returned range may be above the cutoff, but any receiver beyond it is
+// guaranteed below, even with shadowing enabled and no walls to help.
+func TestMaxRangeForCutoffConservative(t *testing.T) {
+	e := newEnv(t)
+	e.ShadowSigmaDB = 4
+	const txp, cutoff = 15.0, -92.0
+	d := e.MaxRangeForCutoff(txp, cutoff)
+	if d <= 1 {
+		t.Fatalf("range bound %v too small for %v dBm tx", d, txp)
+	}
+	f := func(ax, ay uint16) bool {
+		a := geo.Pt(float64(ax%2000), float64(ay%2000))
+		b := geo.Pt(0, 0)
+		if a.Dist(b) <= d {
+			return true // inside the bound: no claim either way
+		}
+		return e.ReceivedPowerDBm(txp, a, b) < cutoff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRangeForCutoffClampsToReference(t *testing.T) {
+	e := newEnv(t)
+	if d := e.MaxRangeForCutoff(-100, 0); d != 1 {
+		t.Fatalf("sub-reference bound = %v, want clamp to 1", d)
+	}
+}

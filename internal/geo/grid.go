@@ -1,0 +1,182 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform spatial hash over points, used by the radio medium to
+// find the entities near a transmitter without scanning the whole world.
+//
+// Entries are identified by integer IDs. All iteration is deterministic:
+// VisitCircle walks cells in row-major order and the IDs within a cell in
+// ascending order, so two identical runs observe entries identically.
+// Grid is purely computational and safe to rebuild at any time.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int
+	pos   map[int]Point
+}
+
+type cellKey struct {
+	X, Y int
+}
+
+// DefaultGridCell is the cell size (metres) used when none is configured.
+// It is on the order of a dense indoor radio neighbourhood, so a typical
+// range query touches a handful of cells.
+const DefaultGridCell = 25.0
+
+// NewGrid creates an empty grid with the given cell size in metres.
+// Non-positive sizes fall back to DefaultGridCell.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = DefaultGridCell
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int),
+		pos:   make(map[int]Point),
+	}
+}
+
+// CellSize returns the grid's cell edge length in metres.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Len returns the number of entries in the grid.
+func (g *Grid) Len() int { return len(g.pos) }
+
+func (g *Grid) keyFor(p Point) cellKey {
+	return cellKey{X: int(math.Floor(p.X / g.cell)), Y: int(math.Floor(p.Y / g.cell))}
+}
+
+// Insert adds an entry; inserting an existing ID moves it instead.
+func (g *Grid) Insert(id int, p Point) {
+	if _, ok := g.pos[id]; ok {
+		g.Move(id, p)
+		return
+	}
+	g.pos[id] = p
+	g.insertCell(g.keyFor(p), id)
+}
+
+func (g *Grid) insertCell(k cellKey, id int) {
+	ids := g.cells[k]
+	i := sort.SearchInts(ids, id)
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	g.cells[k] = ids
+}
+
+func (g *Grid) removeCell(k cellKey, id int) {
+	ids := g.cells[k]
+	i := sort.SearchInts(ids, id)
+	if i >= len(ids) || ids[i] != id {
+		return
+	}
+	ids = append(ids[:i], ids[i+1:]...)
+	if len(ids) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = ids
+	}
+}
+
+// Move updates an entry's position; moving an unknown ID inserts it.
+func (g *Grid) Move(id int, p Point) {
+	old, ok := g.pos[id]
+	if !ok {
+		g.Insert(id, p)
+		return
+	}
+	from, to := g.keyFor(old), g.keyFor(p)
+	g.pos[id] = p
+	if from == to {
+		return
+	}
+	g.removeCell(from, id)
+	g.insertCell(to, id)
+}
+
+// Remove deletes an entry; removing an unknown ID is a no-op.
+func (g *Grid) Remove(id int) {
+	p, ok := g.pos[id]
+	if !ok {
+		return
+	}
+	delete(g.pos, id)
+	g.removeCell(g.keyFor(p), id)
+}
+
+// VisitCircle invokes visit for every entry within radius of center
+// (boundary inclusive), in deterministic order: cells row-major by grid
+// coordinate, IDs ascending within a cell.
+//
+// The cost is min(bounding-box cells, occupied cells): when the radius
+// spans far more cells than are occupied (a huge hearing range over a
+// sparse world), the occupied cells are scanned directly instead of
+// walking empty ones.
+func (g *Grid) VisitCircle(center Point, radius float64, visit func(id int, p Point)) {
+	if radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	inRange := func(id int) (Point, bool) {
+		p := g.pos[id]
+		dx, dy := p.X-center.X, p.Y-center.Y
+		return p, dx*dx+dy*dy <= r2
+	}
+	if math.IsInf(radius, 1) {
+		g.VisitAll(visit)
+		return
+	}
+	lo := g.keyFor(Point{center.X - radius, center.Y - radius})
+	hi := g.keyFor(Point{center.X + radius, center.Y + radius})
+	boxW, boxH := hi.X-lo.X+1, hi.Y-lo.Y+1
+	if boxW > len(g.cells) || boxH > len(g.cells) || boxW*boxH > len(g.cells) {
+		// Sparse occupancy: enumerate the occupied cells inside the box
+		// in the same row-major order the dense walk would use.
+		keys := make([]cellKey, 0, len(g.cells))
+		for k := range g.cells {
+			if k.X >= lo.X && k.X <= hi.X && k.Y >= lo.Y && k.Y <= hi.Y {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Y != keys[j].Y {
+				return keys[i].Y < keys[j].Y
+			}
+			return keys[i].X < keys[j].X
+		})
+		for _, k := range keys {
+			for _, id := range g.cells[k] {
+				if p, ok := inRange(id); ok {
+					visit(id, p)
+				}
+			}
+		}
+		return
+	}
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			for _, id := range g.cells[cellKey{X: cx, Y: cy}] {
+				if p, ok := inRange(id); ok {
+					visit(id, p)
+				}
+			}
+		}
+	}
+}
+
+// VisitAll invokes visit for every entry in ascending ID order.
+func (g *Grid) VisitAll(visit func(id int, p Point)) {
+	ids := make([]int, 0, len(g.pos))
+	for id := range g.pos {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		visit(id, g.pos[id])
+	}
+}

@@ -1,0 +1,152 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collectCircle(g *Grid, c Point, r float64) []int {
+	var out []int
+	g.VisitCircle(c, r, func(id int, _ Point) { out = append(out, id) })
+	return out
+}
+
+func TestGridInsertQuery(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(5, 5))
+	g.Insert(2, Pt(50, 50))
+	g.Insert(3, Pt(7, 5))
+	if g.Len() != 3 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	got := collectCircle(g, Pt(5, 5), 5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("near query = %v, want [1 3]", got)
+	}
+	if got := collectCircle(g, Pt(200, 200), 10); len(got) != 0 {
+		t.Fatalf("empty region query = %v", got)
+	}
+}
+
+func TestGridBoundaryInclusive(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(10, 0))
+	if got := collectCircle(g, Pt(0, 0), 10); len(got) != 1 {
+		t.Fatalf("boundary point excluded: %v", got)
+	}
+}
+
+func TestGridMoveAndRemove(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(5, 5))
+	g.Move(1, Pt(95, 95))
+	if got := collectCircle(g, Pt(5, 5), 8); len(got) != 0 {
+		t.Fatalf("stale entry after move: %v", got)
+	}
+	if got := collectCircle(g, Pt(95, 95), 8); len(got) != 1 {
+		t.Fatalf("moved entry not found: %v", got)
+	}
+	// Move within the same cell.
+	g.Move(1, Pt(94, 94))
+	if got := collectCircle(g, Pt(95, 95), 8); len(got) != 1 {
+		t.Fatalf("intra-cell move lost entry: %v", got)
+	}
+	g.Remove(1)
+	if g.Len() != 0 || len(collectCircle(g, Pt(94, 94), 8)) != 0 {
+		t.Fatal("entry survived Remove")
+	}
+	g.Remove(1) // no-op
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(-5, -5))
+	g.Insert(2, Pt(-15, -15))
+	got := collectCircle(g, Pt(-5, -5), 6)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("negative-coordinate query = %v, want [1]", got)
+	}
+}
+
+func TestGridDeterministicVisitOrder(t *testing.T) {
+	build := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGrid(10)
+		ids := rng.Perm(200)
+		for _, id := range ids {
+			g.Insert(id+1, Pt(float64(id%17)*7, float64(id%13)*9))
+		}
+		return collectCircle(g, Pt(60, 60), 55)
+	}
+	a := build(1)
+	b := build(1)
+	if len(a) == 0 {
+		t.Fatal("query found nothing")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit order differs at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGrid(23)
+	type entry struct {
+		id int
+		p  Point
+	}
+	var all []entry
+	for id := 1; id <= 500; id++ {
+		p := Pt(rng.Float64()*400-200, rng.Float64()*400-200)
+		g.Insert(id, p)
+		all = append(all, entry{id, p})
+	}
+	for trial := 0; trial < 50; trial++ {
+		c := Pt(rng.Float64()*400-200, rng.Float64()*400-200)
+		r := rng.Float64() * 150
+		var want []int
+		for _, e := range all {
+			if e.p.Dist(c) <= r {
+				want = append(want, e.id)
+			}
+		}
+		sort.Ints(want)
+		got := collectCircle(g, c, r)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestGridHugeRadiusVisitsEverything(t *testing.T) {
+	g := NewGrid(10)
+	for id := 1; id <= 20; id++ {
+		g.Insert(id, Pt(float64(id)*100, float64(id)*100))
+	}
+	// A radius spanning vastly more cells than are occupied must take the
+	// sparse path and still find every entry, in deterministic order.
+	a := collectCircle(g, Pt(0, 0), 1e6)
+	b := collectCircle(g, Pt(0, 0), 1e6)
+	if len(a) != 20 {
+		t.Fatalf("huge-radius query found %d entries, want 20", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sparse-path visit order differs: %v vs %v", a, b)
+		}
+	}
+	inf := collectCircle(g, Pt(0, 0), math.Inf(1))
+	if len(inf) != 20 {
+		t.Fatalf("infinite-radius query found %d entries, want 20", len(inf))
+	}
+}

@@ -143,7 +143,16 @@ type txJob struct {
 }
 
 // AddStation binds a new station to the given radio and returns it.
+//
+// A radio has a single owner: the station takes over the radio's
+// OnReceive handler, so binding a radio that already has one (a second
+// station, or custom receive logic wired by scenario code) would silently
+// disconnect the first owner. That is a wiring bug, and it panics here —
+// at assembly time — rather than surfacing as lost frames mid-run.
 func (m *MAC) AddStation(r *radio.Radio) *Station {
+	if r.OnReceive != nil {
+		panic(fmt.Sprintf("mac: radio %q already has an OnReceive handler (double-bound station, or custom receive logic); a radio has a single owner", r.Name))
+	}
 	m.nextAddr++
 	st := &Station{mac: m, radio: r, addr: m.nextAddr, lastSeq: make(map[Addr]uint64)}
 	m.stations[st.addr] = st

@@ -238,3 +238,27 @@ func TestDeterministicOutcome(t *testing.T) {
 		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", d1, t1, d2, t2)
 	}
 }
+
+func TestAddStationRejectsDoubleBinding(t *testing.T) {
+	_, m, _ := testbed(1, 1)
+	r := m.Medium().NewRadio("shared", geo.Pt(10, 0), 6, 15)
+	m.AddStation(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-binding a radio did not panic")
+		}
+	}()
+	m.AddStation(r) // second owner: must panic at wiring time
+}
+
+func TestAddStationRejectsCustomHandlerTakeover(t *testing.T) {
+	_, m, _ := testbed(1, 1)
+	r := m.Medium().NewRadio("probe", geo.Pt(10, 0), 6, 15)
+	r.OnReceive = func(radio.Receipt) {} // scenario-level receive logic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("binding a radio with custom receive logic did not panic")
+		}
+	}()
+	m.AddStation(r)
+}

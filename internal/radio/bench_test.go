@@ -1,0 +1,71 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"aroma/internal/env"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+// benchDense measures the PHY hot path at scale: n radios spread across
+// the 11-channel band on a large floor, with bursts of short overlapping
+// frames. The same workload runs in indexed mode (per-channel partition +
+// spatial cutoff) and naive full-scan mode, so the two benchmark families
+// are directly comparable.
+func benchDense(b *testing.B, n int, channels []int, opts ...MediumOption) {
+	b.Helper()
+	k := sim.New(1)
+	side := 1000.0
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, side, side)))
+	m := NewMedium(k, e, opts...)
+	cols := 32
+	var radios []*Radio
+	for i := 0; i < n; i++ {
+		pos := geo.Pt(float64(i%cols)*(side/float64(cols)), float64(i/cols)*(side/float64(cols)))
+		r := m.NewRadio(fmt.Sprintf("r%d", i), pos, channels[i%len(channels)], 15)
+		r.OnReceive = func(Receipt) {}
+		radios = append(radios, r)
+	}
+	const burst = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			src := radios[(i*burst+j*17)%n]
+			// Stagger starts inside one airtime so transmissions overlap
+			// and the interference ledger is exercised.
+			k.Schedule(sim.Time(j)*50*sim.Microsecond, "bench.tx", func() {
+				if _, err := m.Transmit(src, 2000, Rates[0], nil); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+		k.Run()
+	}
+}
+
+var (
+	denseIndexed = []MediumOption{WithRxCutoffDBm(-100), WithGridCellM(50)}
+	// allChannels crowds every 802.11b channel; orthogonal uses the three
+	// non-overlapping ones, so the per-channel partition can skip 2/3 of
+	// the band.
+	allChannels = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	orthogonal  = []int{1, 6, 11}
+)
+
+func BenchmarkMediumDense500Indexed(b *testing.B)  { benchDense(b, 500, allChannels, denseIndexed...) }
+func BenchmarkMediumDense500FullScan(b *testing.B) { benchDense(b, 500, allChannels, WithFullScan()) }
+
+func BenchmarkMediumDense1000Indexed(b *testing.B) { benchDense(b, 1000, allChannels, denseIndexed...) }
+func BenchmarkMediumDense1000FullScan(b *testing.B) {
+	benchDense(b, 1000, allChannels, WithFullScan())
+}
+
+// The ChannelOnly pair isolates the per-channel partition with the cutoff
+// disabled (bit-exact physics) on an orthogonal channel plan.
+func BenchmarkMediumDense500ChannelOnly(b *testing.B) { benchDense(b, 500, orthogonal) }
+func BenchmarkMediumDense500ChannelOnlyFullScan(b *testing.B) {
+	benchDense(b, 500, orthogonal, WithFullScan())
+}

@@ -14,12 +14,39 @@
 // for the transmission's bit rate, where interference sums the power of
 // every time-overlapping transmission weighted by spectral channel
 // overlap.
+//
+// # Determinism
+//
+// The medium never iterates a Go map on the simulation's hot paths.
+// Receipts, interference accounting, and energy sums are produced in a
+// fixed order — receivers in ascending radio-ID order, in-flight
+// transmissions in ascending sequence order — so a run is bit-identical
+// given the same kernel seed. Model code that moves a radio must call
+// Radio.SetPos (not write Pos directly) so the spatial index stays
+// consistent; likewise SetChannel for channel hops.
+//
+// # Scaling
+//
+// The medium is indexed two ways so dense worlds do not pay O(radios) per
+// transmission for receivers that cannot possibly hear it:
+//
+//   - a per-channel partition: only radios whose channel spectrally
+//     overlaps the transmitter's (within ChannelOverlap's 5-channel
+//     cutoff) are scanned;
+//   - an optional spatial grid with a received-power cutoff
+//     (WithRxCutoffDBm): radios beyond the conservative maximum range at
+//     which the cutoff could still be met are skipped entirely.
+//
+// WithFullScan restores the naive scan of every attached radio (still in
+// deterministic ID order) as a reference mode for benchmarks and physics
+// cross-checks.
 package radio
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"aroma/internal/env"
 	"aroma/internal/geo"
@@ -69,6 +96,11 @@ func PickRate(sinrDB float64) Rate {
 	return best
 }
 
+// maxOverlapDistance is the channel separation at and beyond which
+// ChannelOverlap is zero; the per-channel index scans only channels
+// strictly closer than this.
+const maxOverlapDistance = 5
+
 // ChannelOverlap returns the fraction of transmit power from a sender on
 // channel a that lands in a receiver's filter on channel b. Values follow
 // the measured 802.11b spectral-mask overlap ladder.
@@ -102,6 +134,9 @@ type Transmission struct {
 	Start   sim.Time
 	End     sim.Time
 	payload any
+	// rangeM is the conservative hearing range for this transmission when
+	// the medium has a receive cutoff; +Inf otherwise.
+	rangeM float64
 	// interferenceMW accumulates, per prospective receiver radio ID, the
 	// worst-case interference power observed while this transmission was
 	// in the air.
@@ -126,9 +161,13 @@ type Receipt struct {
 type Radio struct {
 	ID         int
 	Name       string
-	Pos        geo.Point
 	Channel    int
 	TxPowerDBm float64
+
+	// Pos is the radio's current position. Treat it as read-only: moving
+	// a radio must go through SetPos so the medium's spatial index stays
+	// consistent.
+	Pos geo.Point
 
 	// CSThresholdDBm is the carrier-sense energy-detect threshold; the
 	// medium reports busy to this radio when total in-band energy at its
@@ -137,10 +176,95 @@ type Radio struct {
 
 	// OnReceive, if non-nil, is invoked for every transmission that ends
 	// while this radio is attached and not the sender, whether or not it
-	// decoded (Receipt.OK tells which). Sender excluded.
+	// decoded (Receipt.OK tells which). Sender excluded. Receipts for one
+	// transmission fire in ascending radio-ID order.
 	OnReceive func(Receipt)
 
 	medium *Medium
+
+	// cand caches the radios that can hear this one (candidatesFor),
+	// valid while candGen matches the medium's topology generation and
+	// the transmit power is unchanged. The cached slice is immutable:
+	// topology changes produce a new slice, so in-flight iterations over
+	// an old snapshot stay safe.
+	cand      []*Radio
+	candGen   uint64
+	candPower float64
+}
+
+// SetPos moves the radio, keeping the medium's spatial index in sync.
+// Detached radios just update their position. Without a receive cutoff
+// the candidate sets are position-independent, so moves neither touch
+// the grid nor invalidate caches.
+func (r *Radio) SetPos(p geo.Point) {
+	r.Pos = p
+	if m := r.medium; m != nil && m.cutoffEnabled() && m.attached(r) {
+		m.grid.Move(r.ID, p)
+		m.topoGen++
+	}
+}
+
+// SetChannel retunes the radio, clamping to the legal range and keeping
+// the medium's channel partition in sync.
+func (r *Radio) SetChannel(ch int) {
+	ch = clampChannel(ch)
+	if ch == r.Channel {
+		return
+	}
+	if r.medium != nil && r.medium.attached(r) {
+		r.medium.channelRemove(r)
+		r.Channel = ch
+		r.medium.channelInsert(r)
+		r.medium.topoGen++
+		return
+	}
+	r.Channel = ch
+}
+
+func clampChannel(ch int) int {
+	if ch < MinChannel {
+		return MinChannel
+	}
+	if ch > MaxChannel {
+		return MaxChannel
+	}
+	return ch
+}
+
+// MediumOption configures a Medium at construction time.
+type MediumOption func(*Medium)
+
+// WithRxCutoffDBm enables the spatial index: receivers whose best-case
+// received power for a transmission would fall below dbm are skipped by
+// delivery, interference, and energy accounting. Choose a cutoff at or
+// below the noise floor (-100 dBm thermal) so each skipped contribution
+// is at most noise-level. Note the error bound is per contribution: with
+// k concurrent just-out-of-range interferers the skipped interference
+// can sum to k times the cutoff power, so when many simultaneous
+// transmissions are expected and decode outcomes near the margin matter,
+// lower the cutoff by 10*log10(k) (e.g. -110 dBm for k=10). The default
+// (cutoff disabled) is exact.
+func WithRxCutoffDBm(dbm float64) MediumOption {
+	return func(m *Medium) { m.cutoffDBm = dbm }
+}
+
+// WithGridCellM sets the spatial-index cell size in metres (default
+// geo.DefaultGridCell). Smaller cells tighten range queries in very dense
+// worlds at a little extra bookkeeping per move.
+func WithGridCellM(meters float64) MediumOption {
+	return func(m *Medium) {
+		if meters > 0 {
+			m.gridCell = meters
+		}
+	}
+}
+
+// WithFullScan disables the per-channel partition and the spatial cutoff:
+// every attached radio is scanned for every transmission, in ascending ID
+// order. This is the naive reference mode used by benchmarks and physics
+// cross-checks; it is still fully deterministic.
+func WithFullScan() MediumOption {
+	return func(m *Medium) { m.fullScan = true }
 }
 
 // Medium is the shared 2.4 GHz band.
@@ -148,10 +272,28 @@ type Medium struct {
 	kernel *sim.Kernel
 	env    *env.Environment
 
-	radios map[int]*Radio
-	active map[uint64]*Transmission
+	// radios maps ID -> radio for O(1) attachment checks only; every
+	// iteration goes through the ordered indexes below.
+	radios    map[int]*Radio
+	ordered   []*Radio                 // all attached radios, ID-ascending
+	byChannel [MaxChannel + 1][]*Radio // per-channel partition, ID-ascending
+	grid      *geo.Grid                // spatial index over radio positions
+
+	// active holds in-flight transmissions in ascending Seq order, so
+	// energy and interference sums always accumulate identically.
+	active []*Transmission
+
 	nextID int
 	seq    uint64
+
+	cutoffDBm float64 // receive cutoff; -Inf disables the spatial skip
+	gridCell  float64
+	fullScan  bool
+
+	// topoGen counts topology changes (attach, detach, move, retune);
+	// per-radio candidate caches are valid only for the generation they
+	// were built in.
+	topoGen uint64
 
 	// Stats
 	Sent      uint64
@@ -160,13 +302,19 @@ type Medium struct {
 }
 
 // NewMedium creates an empty medium over the given environment.
-func NewMedium(k *sim.Kernel, e *env.Environment) *Medium {
-	return &Medium{
-		kernel: k,
-		env:    e,
-		radios: make(map[int]*Radio),
-		active: make(map[uint64]*Transmission),
+func NewMedium(k *sim.Kernel, e *env.Environment, opts ...MediumOption) *Medium {
+	m := &Medium{
+		kernel:    k,
+		env:       e,
+		radios:    make(map[int]*Radio),
+		cutoffDBm: math.Inf(-1),
+		gridCell:  geo.DefaultGridCell,
 	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	m.grid = geo.NewGrid(m.gridCell)
+	return m
 }
 
 // Kernel returns the owning simulation kernel.
@@ -175,39 +323,188 @@ func (m *Medium) Kernel() *sim.Kernel { return m.kernel }
 // Env returns the propagation environment.
 func (m *Medium) Env() *env.Environment { return m.env }
 
+// RxCutoffDBm returns the configured receive cutoff (-Inf when disabled).
+func (m *Medium) RxCutoffDBm() float64 { return m.cutoffDBm }
+
+func (m *Medium) cutoffEnabled() bool {
+	return !m.fullScan && !math.IsInf(m.cutoffDBm, -1)
+}
+
+func (m *Medium) attached(r *Radio) bool { return m.radios[r.ID] == r }
+
 // NewRadio creates, attaches and returns a radio. Channel is clamped to
 // the legal range.
 func (m *Medium) NewRadio(name string, pos geo.Point, channel int, txPowerDBm float64) *Radio {
-	if channel < MinChannel {
-		channel = MinChannel
-	}
-	if channel > MaxChannel {
-		channel = MaxChannel
-	}
 	m.nextID++
 	r := &Radio{
 		ID:             m.nextID,
 		Name:           name,
 		Pos:            pos,
-		Channel:        channel,
+		Channel:        clampChannel(channel),
 		TxPowerDBm:     txPowerDBm,
 		CSThresholdDBm: -82,
 		medium:         m,
 	}
 	m.radios[r.ID] = r
+	m.ordered = append(m.ordered, r) // IDs are monotonic: stays sorted
+	m.channelInsert(r)
+	m.grid.Insert(r.ID, pos)
+	m.topoGen++
 	return r
+}
+
+func (m *Medium) channelInsert(r *Radio) {
+	ids := m.byChannel[r.Channel]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i].ID >= r.ID })
+	ids = append(ids, nil)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = r
+	m.byChannel[r.Channel] = ids
+}
+
+func (m *Medium) channelRemove(r *Radio) {
+	ids := m.byChannel[r.Channel]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i].ID >= r.ID })
+	if i < len(ids) && ids[i] == r {
+		m.byChannel[r.Channel] = append(ids[:i], ids[i+1:]...)
+	}
 }
 
 // Detach removes a radio from the medium; in-flight transmissions to it
 // are not delivered.
-func (m *Medium) Detach(r *Radio) { delete(m.radios, r.ID) }
+func (m *Medium) Detach(r *Radio) {
+	if !m.attached(r) {
+		return
+	}
+	delete(m.radios, r.ID)
+	i := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].ID >= r.ID })
+	if i < len(m.ordered) && m.ordered[i] == r {
+		m.ordered = append(m.ordered[:i], m.ordered[i+1:]...)
+	}
+	m.channelRemove(r)
+	m.grid.Remove(r.ID)
+	m.topoGen++
+}
 
 // Radios returns the number of attached radios.
-func (m *Medium) Radios() int { return len(m.radios) }
+func (m *Medium) Radios() int { return len(m.ordered) }
+
+// hearingRange returns the conservative maximum distance at which a
+// transmission from r can still reach the receive cutoff, or +Inf when
+// the cutoff is disabled.
+func (m *Medium) hearingRange(r *Radio) float64 {
+	if !m.cutoffEnabled() {
+		return math.Inf(1)
+	}
+	return m.env.MaxRangeForCutoff(r.TxPowerDBm, m.cutoffDBm)
+}
+
+// candidatesFor returns every attached radio that could receive energy
+// from src — spectrally overlapping channel and, when the cutoff is
+// enabled, within src's conservative hearing range — excluding src
+// itself, in ascending radio-ID order.
+//
+// The result is cached on src and reused until the medium's topology
+// changes (attach, detach, move, retune) or src's transmit power does.
+// Callers must treat the returned slice as immutable; it is safe to keep
+// iterating across a topology change mid-delivery, because rebuilds
+// allocate a fresh slice.
+func (m *Medium) candidatesFor(src *Radio) []*Radio {
+	if src.cand != nil && src.candGen == m.topoGen && src.candPower == src.TxPowerDBm {
+		return src.cand
+	}
+	out := m.buildCandidates(src)
+	src.cand, src.candGen, src.candPower = out, m.topoGen, src.TxPowerDBm
+	return out
+}
+
+func (m *Medium) buildCandidates(src *Radio) []*Radio {
+	dst := make([]*Radio, 0, 16)
+	if m.fullScan {
+		for _, r := range m.ordered {
+			if r != src {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	lo := src.Channel - (maxOverlapDistance - 1)
+	hi := src.Channel + (maxOverlapDistance - 1)
+	if lo < MinChannel {
+		lo = MinChannel
+	}
+	if hi > MaxChannel {
+		hi = MaxChannel
+	}
+	if m.cutoffEnabled() {
+		rangeM := m.hearingRange(src)
+		m.grid.VisitCircle(src.Pos, rangeM, func(id int, _ geo.Point) {
+			r := m.radios[id]
+			if r == src || r.Channel < lo || r.Channel > hi {
+				return
+			}
+			dst = append(dst, r)
+		})
+		// The grid visits cell-major; restore the global ID order.
+		sort.Sort(byID(dst))
+		return dst
+	}
+	total := 0
+	for ch := lo; ch <= hi; ch++ {
+		total += len(m.byChannel[ch])
+	}
+	if total*3 >= len(m.ordered)*2 {
+		// The overlap window holds most of the band: a filtered scan of
+		// the global ID order beats a multi-way merge.
+		for _, r := range m.ordered {
+			if r != src && r.Channel >= lo && r.Channel <= hi {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	// Sparse window: merge the (already ID-sorted) per-channel slices,
+	// skipping src.
+	var heads [2*maxOverlapDistance - 1][]*Radio
+	n := 0
+	for ch := lo; ch <= hi; ch++ {
+		if s := m.byChannel[ch]; len(s) > 0 {
+			heads[n] = s
+			n++
+		}
+	}
+	for {
+		best := -1
+		for i := 0; i < n; i++ {
+			if len(heads[i]) == 0 {
+				continue
+			}
+			if best < 0 || heads[i][0].ID < heads[best][0].ID {
+				best = i
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		if r := heads[best][0]; r != src {
+			dst = append(dst, r)
+		}
+		heads[best] = heads[best][1:]
+	}
+}
+
+// byID sorts radios by ascending ID.
+type byID []*Radio
+
+func (s byID) Len() int           { return len(s) }
+func (s byID) Less(i, j int) bool { return s[i].ID < s[j].ID }
+func (s byID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // EnergyAtDBm returns the total in-band energy a radio currently senses:
 // the channel-overlap-weighted sum of all active transmissions' received
-// power at the radio's position, plus the noise floor.
+// power at the radio's position, plus the noise floor. Transmissions are
+// summed in ascending sequence order, so the floating-point result is
+// identical across runs.
 func (m *Medium) EnergyAtDBm(r *Radio) float64 {
 	total := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
 	now := m.kernel.Now()
@@ -221,6 +518,9 @@ func (m *Medium) EnergyAtDBm(r *Radio) float64 {
 		ov := ChannelOverlap(tx.Src.Channel, r.Channel)
 		if ov == 0 {
 			continue
+		}
+		if tx.Src.Pos.Dist(r.Pos) > tx.rangeM {
+			continue // below the receive cutoff by construction
 		}
 		rx := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, r.Pos)
 		total += env.DBmToMilliwatts(rx) * ov
@@ -251,12 +551,13 @@ var ErrZeroBits = errors.New("radio: transmission must carry at least one bit")
 
 // Transmit puts a frame on the air from r. The frame occupies the medium
 // for bits/rate seconds; when it ends, every other attached radio's
-// OnReceive fires with a Receipt. The payload is carried opaquely.
+// OnReceive fires with a Receipt, in ascending radio-ID order. The
+// payload is carried opaquely.
 func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmission, error) {
 	if bits <= 0 {
 		return nil, ErrZeroBits
 	}
-	if _, ok := m.radios[r.ID]; !ok {
+	if !m.attached(r) {
 		return nil, fmt.Errorf("radio: %s not attached", r.Name)
 	}
 	airSeconds := float64(bits) / (rate.Mbps * 1e6)
@@ -270,24 +571,28 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 		Start:          now,
 		End:            now + sim.Time(airSeconds*float64(sim.Second)),
 		payload:        payload,
+		rangeM:         m.hearingRange(r),
 		interferenceMW: make(map[int]float64),
 	}
-	// Record mutual interference with all currently active transmissions.
+	// Record mutual interference with all currently active transmissions,
+	// oldest first.
+	hearers := m.candidatesFor(r)
 	for _, other := range m.active {
-		m.recordInterference(tx, other)
-		m.recordInterference(other, tx)
+		m.recordInterference(tx, other, m.candidatesFor(other.Src))
+		m.recordInterference(other, tx, hearers)
 	}
-	m.active[tx.Seq] = tx
+	m.active = append(m.active, tx) // Seq is monotonic: stays sorted
 	m.Sent++
 	m.kernel.Schedule(tx.End-now, "radio.txEnd", func() { m.finish(tx) })
 	return tx, nil
 }
 
 // recordInterference adds other's power into victim's per-receiver
-// interference ledger.
-func (m *Medium) recordInterference(victim, other *Transmission) {
-	for id, rx := range m.radios {
-		if id == victim.Src.ID || id == other.Src.ID {
+// interference ledger. hearers is the candidate set for other.Src (the
+// radios that can hear the interfering emission), in ascending ID order.
+func (m *Medium) recordInterference(victim, other *Transmission, hearers []*Radio) {
+	for _, rx := range hearers {
+		if rx.ID == victim.Src.ID {
 			continue
 		}
 		ov := ChannelOverlap(other.Src.Channel, rx.Channel)
@@ -295,16 +600,26 @@ func (m *Medium) recordInterference(victim, other *Transmission) {
 			continue
 		}
 		p := env.DBmToMilliwatts(m.env.ReceivedPowerDBm(other.Src.TxPowerDBm, other.Src.Pos, rx.Pos)) * ov
-		victim.interferenceMW[id] += p
+		victim.interferenceMW[rx.ID] += p
 	}
 }
 
-// finish delivers a completed transmission to every attached radio.
+// finish delivers a completed transmission to every radio that could hear
+// it, in ascending radio-ID order.
 func (m *Medium) finish(tx *Transmission) {
-	delete(m.active, tx.Seq)
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
 	noiseMW := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
-	for id, rx := range m.radios {
-		if id == tx.Src.ID || rx.OnReceive == nil {
+	// The candidate snapshot is immutable: OnReceive callbacks may
+	// transmit or attach/detach radios without disturbing this delivery
+	// round (detached receivers are re-checked below).
+	receivers := m.candidatesFor(tx.Src)
+	for _, rx := range receivers {
+		if rx.OnReceive == nil || !m.attached(rx) {
 			continue
 		}
 		ov := ChannelOverlap(tx.Src.Channel, rx.Channel)
@@ -313,7 +628,7 @@ func (m *Medium) finish(tx *Transmission) {
 		}
 		rssi := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, rx.Pos)
 		sigMW := env.DBmToMilliwatts(rssi) * ov
-		intMW := tx.interferenceMW[id]
+		intMW := tx.interferenceMW[rx.ID]
 		sinr := 10 * math.Log10(sigMW/(noiseMW+intMW))
 		ok := sinr >= tx.Rate.MinSINRdB
 		if ok {

@@ -280,3 +280,199 @@ func TestSNRDecreasesWithDistance(t *testing.T) {
 		t.Fatal("SNR should fall with distance")
 	}
 }
+
+func TestReceiptOrderDeterministicAndAscending(t *testing.T) {
+	run := func() []int {
+		k, m := newMedium(1)
+		a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+		var order []int
+		for i := 0; i < 12; i++ {
+			r := m.NewRadio("r", geo.Pt(float64(i+1), 0), 6, 15)
+			r.OnReceive = func(rc Receipt) { order = append(order, r.ID) }
+		}
+		if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return order
+	}
+	first := run()
+	if len(first) != 12 {
+		t.Fatalf("receipts = %d, want 12", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] >= first[i] {
+			t.Fatalf("receipts not in ascending ID order: %v", first)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatalf("trial %d: receipt count varies", trial)
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("trial %d: order varies: %v vs %v", trial, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestSetPosKeepsSpatialIndexCurrent(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 1000, 1000)))
+	m := NewMedium(k, e, WithRxCutoffDBm(-95), WithGridCellM(20))
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(900, 900), 6, 15)
+	got := 0
+	b.OnReceive = func(Receipt) { got++ }
+	if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 0 {
+		t.Fatal("out-of-range radio received a frame despite the cutoff")
+	}
+	// Walk b next to a: the grid must see the move.
+	b.SetPos(geo.Pt(5, 0))
+	if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 1 {
+		t.Fatalf("moved radio receipts = %d, want 1", got)
+	}
+	// And walk it away again.
+	b.SetPos(geo.Pt(900, 900))
+	if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 1 {
+		t.Fatalf("receipts after moving away = %d, want 1", got)
+	}
+}
+
+func TestSetChannelKeepsPartitionCurrent(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 1, 15)
+	b := m.NewRadio("b", geo.Pt(5, 0), 11, 15)
+	got := 0
+	b.OnReceive = func(Receipt) { got++ }
+	if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 0 {
+		t.Fatal("orthogonal-channel radio heard the frame")
+	}
+	b.SetChannel(1)
+	if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 1 {
+		t.Fatalf("retuned radio receipts = %d, want 1", got)
+	}
+	b.SetChannel(99)
+	if b.Channel != MaxChannel {
+		t.Fatalf("SetChannel did not clamp: %d", b.Channel)
+	}
+}
+
+func TestIndexedMatchesFullScanPhysics(t *testing.T) {
+	// With the cutoff disabled, the channel-partitioned medium must
+	// produce exactly the receipts the naive full scan does.
+	type outcome struct {
+		id   int
+		sinr float64
+		ok   bool
+	}
+	run := func(opts ...MediumOption) []outcome {
+		k := sim.New(3)
+		e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 300, 300)))
+		m := NewMedium(k, e, opts...)
+		var radios []*Radio
+		var out []outcome
+		for i := 0; i < 40; i++ {
+			ch := 1 + (i*3)%11
+			r := m.NewRadio("r", geo.Pt(float64(i%8)*35, float64(i/8)*35), ch, 15)
+			r.OnReceive = func(rc Receipt) {
+				out = append(out, outcome{r.ID, rc.SINRdB, rc.OK})
+			}
+			radios = append(radios, r)
+		}
+		for i := 0; i < 6; i++ {
+			src := radios[i*7]
+			k.Schedule(sim.Time(i)*100*sim.Microsecond, "tx", func() {
+				if _, err := m.Transmit(src, 4000, Rates[0], nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		k.Run()
+		return out
+	}
+	indexed := run()
+	naive := run(WithFullScan())
+	if len(indexed) != len(naive) {
+		t.Fatalf("receipt counts differ: indexed %d vs full-scan %d", len(indexed), len(naive))
+	}
+	for i := range indexed {
+		if indexed[i] != naive[i] {
+			t.Fatalf("receipt %d differs: indexed %+v vs full-scan %+v", i, indexed[i], naive[i])
+		}
+	}
+}
+
+func TestDetachRemovesFromAllIndexes(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 100, 100)))
+	m := NewMedium(k, e, WithRxCutoffDBm(-95))
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(5, 0), 6, 15)
+	got := 0
+	b.OnReceive = func(Receipt) { got++ }
+	m.Detach(b)
+	m.Detach(b) // double-detach is a no-op
+	if m.Radios() != 1 {
+		t.Fatalf("radios = %d, want 1", m.Radios())
+	}
+	if _, err := m.Transmit(a, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 0 {
+		t.Fatal("detached radio received a frame")
+	}
+}
+
+func TestCutoffSkipsOnlyInaudibleRadios(t *testing.T) {
+	// A cutoff of -95 dBm must not change whether nearby frames decode.
+	run := func(opts ...MediumOption) (delivered, lost uint64) {
+		k := sim.New(5)
+		e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 200, 200)))
+		m := NewMedium(k, e, opts...)
+		var radios []*Radio
+		for i := 0; i < 30; i++ {
+			r := m.NewRadio("r", geo.Pt(float64(i%6)*8, float64(i/6)*8), 6, 15)
+			r.OnReceive = func(Receipt) {}
+			radios = append(radios, r)
+		}
+		for i := 0; i < 5; i++ {
+			src := radios[i*6]
+			k.Schedule(sim.Time(i)*sim.Millisecond, "tx", func() {
+				if _, err := m.Transmit(src, 4000, Rates[0], nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		k.Run()
+		return m.Delivered, m.Lost
+	}
+	d1, l1 := run()
+	d2, l2 := run(WithRxCutoffDBm(-95))
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("cutoff changed close-range outcomes: %d/%d vs %d/%d", d1, l1, d2, l2)
+	}
+}

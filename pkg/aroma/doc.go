@@ -27,4 +27,35 @@
 // Scenario authors who want a named, reusable workload should register
 // it with the sibling package pkg/aroma/scenario; the stock scenarios
 // ported from examples/ live in pkg/aroma/scenarios.
+//
+// # Determinism guarantees
+//
+// A World run is exactly reproducible from its seed: two runs of the
+// same scenario code with the same WithSeed value produce bit-identical
+// event sequences, trace records, statistics, and reports. Digest
+// fingerprints a run so the property can be asserted cheaply; the
+// determinism regression suite in pkg/aroma/scenarios runs every
+// registered scenario twice per seed and compares digests.
+//
+// What the guarantee rests on, and what model code must uphold:
+//
+//   - All randomness comes from the kernel's seeded generator
+//     (Kernel().Rand()). Model code must never use math/rand globals,
+//     time.Now, or any other ambient entropy.
+//   - Simultaneous events run in FIFO scheduling order, and substrate
+//     callbacks fire in fixed orders: radio receipts in ascending radio-ID
+//     order, discovery lookup results sorted by ServiceID, subscriber
+//     events in ascending subscription-ID order.
+//   - Model code must not iterate a Go map when the iteration emits
+//     events, sends frames, or draws randomness — map order is
+//     nondeterministic and silently breaks seed reproducibility. Iterate
+//     a sorted key slice (or keep an ordered index) instead.
+//   - Radios move through SetPos (Device.SetPos does this), never by
+//     writing Radio.Pos directly, so the medium's spatial index stays
+//     consistent.
+//
+// Not covered: runs with different seeds, different Go versions'
+// floating-point library behaviour across architectures, and wall-clock
+// properties (a run's real duration). Concurrency is not part of the
+// model: a World and its kernel are single-threaded by design.
 package aroma

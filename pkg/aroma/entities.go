@@ -141,7 +141,7 @@ func (d *Device) Pos() geo.Point { return d.entity.Pos }
 func (d *Device) SetPos(p geo.Point) {
 	d.entity.Pos = p
 	if d.radio != nil {
-		d.radio.Pos = p
+		d.radio.SetPos(p)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"aroma/internal/geo"
 	"aroma/internal/mac"
 	"aroma/internal/netsim"
+	"aroma/internal/radio"
 	"aroma/internal/sim"
 	"aroma/internal/trace"
 )
@@ -21,6 +22,7 @@ type worldOptions struct {
 	channel        int
 	txPowerDBm     float64
 	traceMin       trace.Severity
+	mediumOpts     []radio.MediumOption
 	netOpts        []netsim.Option
 	announcePeriod sim.Time
 	analysis       []core.AnalysisOption
@@ -72,6 +74,39 @@ func WithRadioDefaults(channel int, txPowerDBm float64) Option {
 	return func(o *worldOptions) {
 		o.channel = channel
 		o.txPowerDBm = txPowerDBm
+	}
+}
+
+// WithRadioCutoff enables the radio medium's spatial index: receivers
+// whose best-case received power for a transmission would fall below dBm
+// are skipped by delivery and interference accounting. Pick a cutoff at
+// or below the -100 dBm thermal noise floor so each skipped contribution
+// is at most noise-level; the error is per contribution, so lower the
+// cutoff by 10*log10(k) when k simultaneous interferers are expected and
+// marginal decode outcomes matter (-110 dBm covers k=10). Dense worlds
+// (hundreds of radios) become dramatically cheaper to simulate. Without
+// this option every radio is considered for every transmission (exact
+// physics).
+func WithRadioCutoff(dBm float64) Option {
+	return func(o *worldOptions) {
+		o.mediumOpts = append(o.mediumOpts, radio.WithRxCutoffDBm(dBm))
+	}
+}
+
+// WithRadioGridCell sets the spatial index cell size in metres (only
+// meaningful together with WithRadioCutoff).
+func WithRadioGridCell(meters float64) Option {
+	return func(o *worldOptions) {
+		o.mediumOpts = append(o.mediumOpts, radio.WithGridCellM(meters))
+	}
+}
+
+// WithFullScanMedium makes the medium scan every attached radio for every
+// transmission (the naive reference mode) — still deterministic, but
+// O(radios) per frame. Used for physics cross-checks and benchmarks.
+func WithFullScanMedium() Option {
+	return func(o *worldOptions) {
+		o.mediumOpts = append(o.mediumOpts, radio.WithFullScan())
 	}
 }
 

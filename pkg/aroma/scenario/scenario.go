@@ -73,6 +73,10 @@ type Result struct {
 	Seed    int64
 	SimTime sim.Time
 	Steps   uint64
+	// Digest is a stable hash of the run (trace record order, step count,
+	// virtual time); scenarios set it from World.Digest. Equal seeds must
+	// yield equal digests — the determinism regression suite enforces it.
+	Digest string
 	// Report is the scenario's LPC analysis, when it performs one.
 	Report *core.Report
 }

@@ -179,6 +179,6 @@ func runLab(cfg scenario.Config) (*scenario.Result, error) {
 	cfg.Println(report.Render())
 
 	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Report: report,
+		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: report,
 	}, nil
 }

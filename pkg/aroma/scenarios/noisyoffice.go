@@ -136,6 +136,6 @@ func runNoisyOffice(cfg scenario.Config) (*scenario.Result, error) {
 	cfg.Printf("coworker's noise floor: %.1f dB -> %.1f dB once dana starts dictating\n", before, after)
 
 	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Report: report,
+		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: report,
 	}, nil
 }

@@ -74,6 +74,6 @@ func runQuickstart(cfg scenario.Config) (*scenario.Result, error) {
 		len(ablated.Violations()), len(report.Violations()))
 
 	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Report: report,
+		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: report,
 	}, nil
 }

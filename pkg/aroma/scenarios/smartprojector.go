@@ -93,7 +93,7 @@ func runSmartProjector(cfg scenario.Config) (*scenario.Result, error) {
 	// state becomes its abstract layer.
 	projDev.Entity().AppState = proj.AppState()
 	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Report: w.Analyze(),
+		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: w.Analyze(),
 	}, nil
 }
 

@@ -96,6 +96,6 @@ func runSmartSpace(cfg scenario.Config) (*scenario.Result, error) {
 		med.Sent, med.Delivered, med.Lost)
 
 	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Report: w.Analyze(),
+		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: w.Analyze(),
 	}, nil
 }

@@ -93,6 +93,6 @@ func runWalkabout(cfg scenario.Config) (*scenario.Result, error) {
 
 	projDev.Entity().AppState = proj.AppState()
 	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Report: w.Analyze(),
+		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: w.Analyze(),
 	}, nil
 }

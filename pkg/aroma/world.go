@@ -2,6 +2,7 @@ package aroma
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"aroma/internal/core"
 	"aroma/internal/env"
@@ -51,7 +52,7 @@ func NewWorld(opts ...Option) *World {
 		plan = geo.NewFloorPlan(geo.RectAt(0, 0, o.arenaW, o.arenaH))
 	}
 	e := env.New(k, plan)
-	med := radio.NewMedium(k, e)
+	med := radio.NewMedium(k, e, o.mediumOpts...)
 	m := mac.New(med, o.macConfig)
 	log := trace.NewForKernel(k)
 	log.SetMinSeverity(o.traceMin)
@@ -185,6 +186,22 @@ func (w *World) System() *core.System {
 func (w *World) Analyze(opts ...core.AnalysisOption) *core.Report {
 	all := append(append([]core.AnalysisOption{}, w.opts.analysis...), opts...)
 	return core.AnalyzeWith(w.System(), all...)
+}
+
+// Digest returns a stable hash of the run so far: the seed, the kernel
+// step count, the current virtual time, and every recorded trace event in
+// record order. Two runs of the same scenario with the same seed must
+// produce identical digests; a digest mismatch means nondeterminism has
+// crept into the model (see the determinism guarantees in the package
+// doc). The digest is cheap enough to compute at every scenario exit.
+func (w *World) Digest() string {
+	h := fnv.New64a()
+	mix := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	mix("seed=%d steps=%d now=%d|", w.kernel.Seed(), w.kernel.Steps(), w.kernel.Now())
+	for _, e := range w.log.Events() {
+		mix("%d/%d/%d/%s/%s\n", e.At, e.Layer, e.Severity, e.Entity, e.Message)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 func (w *World) checkName(kind, name string) {
