@@ -210,10 +210,27 @@ func (f *FloorPlan) AcousticLossDB(a, b Point) float64 {
 
 // Path is a sequence of waypoints traversed at a constant speed, used by
 // the mobility model for users and portable devices.
+//
+// SpeedMPS must be positive and finite for a moving path. Any other
+// value — zero, negative, NaN, or infinite — degrades the path to a
+// stationary one pinned at its first waypoint: PositionAt returns the
+// first waypoint for all times and Duration returns 0, so no caller ever
+// observes NaN positions or an infinite traversal time.
 type Path struct {
 	Waypoints []Point
-	SpeedMPS  float64 // metres per second; must be > 0 for moving paths
+	SpeedMPS  float64 // metres per second; must be > 0 and finite to move
 }
+
+// ValidSpeed reports whether v can traverse a path: positive and
+// finite. It is the single definition of the Path speed contract —
+// mobility code gates on it too. NaN compares false with >, so NaN
+// speeds are rejected without an explicit check.
+func ValidSpeed(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
+// moves reports whether the path actually traverses its waypoints.
+func (p Path) moves() bool { return ValidSpeed(p.SpeedMPS) }
 
 // TotalLength returns the summed length of all path legs.
 func (p Path) TotalLength() float64 {
@@ -226,12 +243,15 @@ func (p Path) TotalLength() float64 {
 
 // PositionAt returns the position after travelling for tSeconds from the
 // first waypoint. Past the end of the path the final waypoint is returned.
-// An empty path returns the origin; a single-waypoint path is stationary.
+// An empty path returns the origin; a single-waypoint path is stationary,
+// as is any path with a non-positive, NaN, or infinite speed (see the
+// Path contract). A NaN travel time also pins to the first waypoint
+// rather than propagating into the interpolation.
 func (p Path) PositionAt(tSeconds float64) Point {
 	if len(p.Waypoints) == 0 {
 		return Point{}
 	}
-	if len(p.Waypoints) == 1 || p.SpeedMPS <= 0 || tSeconds <= 0 {
+	if len(p.Waypoints) == 1 || !p.moves() || tSeconds <= 0 || math.IsNaN(tSeconds) {
 		return p.Waypoints[0]
 	}
 	remaining := tSeconds * p.SpeedMPS
@@ -249,9 +269,10 @@ func (p Path) PositionAt(tSeconds float64) Point {
 }
 
 // Duration returns the time in seconds to traverse the whole path.
-// A stationary path has duration 0.
+// A stationary path — including one degraded by an invalid speed — has
+// duration 0, never NaN or +Inf.
 func (p Path) Duration() float64 {
-	if p.SpeedMPS <= 0 {
+	if !p.moves() {
 		return 0
 	}
 	return p.TotalLength() / p.SpeedMPS

@@ -240,3 +240,33 @@ func TestPropertyIntersectSymmetric(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPathInvalidSpeedIsStationary(t *testing.T) {
+	wps := []Point{Pt(0, 0), Pt(100, 0), Pt(100, 100)}
+	for _, speed := range []float64{0, -2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		p := Path{Waypoints: wps, SpeedMPS: speed}
+		if d := p.Duration(); d != 0 {
+			t.Errorf("speed %v: Duration = %v, want 0", speed, d)
+		}
+		for _, tSec := range []float64{0, 1, 1e9, math.NaN(), math.Inf(1)} {
+			got := p.PositionAt(tSec)
+			if got != wps[0] {
+				t.Errorf("speed %v: PositionAt(%v) = %v, want first waypoint", speed, tSec, got)
+			}
+			if math.IsNaN(got.X) || math.IsNaN(got.Y) {
+				t.Fatalf("speed %v: NaN position leaked from PositionAt(%v)", speed, tSec)
+			}
+		}
+	}
+}
+
+func TestPathNaNTimePinsToStart(t *testing.T) {
+	p := Path{Waypoints: []Point{Pt(0, 0), Pt(100, 0)}, SpeedMPS: 2}
+	if got := p.PositionAt(math.NaN()); got != Pt(0, 0) {
+		t.Fatalf("PositionAt(NaN) = %v, want start", got)
+	}
+	// A valid path still moves.
+	if got := p.PositionAt(10); got != Pt(20, 0) {
+		t.Fatalf("PositionAt(10) = %v, want (20,0)", got)
+	}
+}

@@ -150,3 +150,205 @@ func TestGridHugeRadiusVisitsEverything(t *testing.T) {
 		t.Fatalf("infinite-radius query found %d entries, want 20", len(inf))
 	}
 }
+
+func TestGridMoveUnknownIDInserts(t *testing.T) {
+	// Move on an ID the grid has never seen is an explicit insert.
+	g := NewGrid(10)
+	g.Move(7, Pt(42, 42))
+	if g.Len() != 1 {
+		t.Fatalf("len after Move-insert = %d, want 1", g.Len())
+	}
+	if got := collectCircle(g, Pt(42, 42), 1); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Move-inserted entry not found: %v", got)
+	}
+	// And it bumps the destination cell's generation like any insert.
+	if g.gen[g.keyFor(Pt(42, 42))] != 1 {
+		t.Fatalf("Move-insert did not bump the destination cell generation: %v", g.gen)
+	}
+}
+
+func TestGridKeyForNegativeAndCellEdge(t *testing.T) {
+	g := NewGrid(10)
+	cases := []struct {
+		p    Point
+		x, y int
+	}{
+		{Pt(0, 0), 0, 0},
+		{Pt(9.999, 9.999), 0, 0},
+		{Pt(10, 10), 1, 1}, // cell edges belong to the higher cell
+		{Pt(-0.001, 0), -1, 0},
+		{Pt(-10, -10), -1, -1},
+		{Pt(-10.001, -10.001), -2, -2},
+	}
+	for _, c := range cases {
+		if k := g.keyFor(c.p); k.X != c.x || k.Y != c.y {
+			t.Errorf("keyFor(%v) = (%d,%d), want (%d,%d)", c.p, k.X, k.Y, c.x, c.y)
+		}
+	}
+}
+
+func TestGridCellGenerations(t *testing.T) {
+	g := NewGrid(10)
+	k00 := g.keyFor(Pt(5, 5))
+	k10 := g.keyFor(Pt(15, 5))
+	g.Insert(1, Pt(5, 5))
+	if g.gen[k00] != 1 {
+		t.Fatalf("insert gen = %d, want 1", g.gen[k00])
+	}
+	g.Move(1, Pt(7, 7)) // within-cell move: free
+	if g.gen[k00] != 1 || g.genTotal != 1 {
+		t.Fatalf("within-cell move bumped a generation: gen=%d total=%d", g.gen[k00], g.genTotal)
+	}
+	g.Move(1, Pt(15, 5)) // cell crossing: both sides bump
+	if g.gen[k00] != 2 || g.gen[k10] != 1 {
+		t.Fatalf("crossing gens = %d,%d, want 2,1", g.gen[k00], g.gen[k10])
+	}
+	g.Remove(1)
+	if g.gen[k10] != 2 {
+		t.Fatalf("remove gen = %d, want 2", g.gen[k10])
+	}
+}
+
+func TestCoverDirtyTracking(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(5, 5))
+	g.Insert(2, Pt(25, 5))
+	g.Insert(3, Pt(95, 95))
+	c := g.CoverFor(Pt(5, 5), 15) // box spans cells [-2..3] on each axis
+	center := Pt(5, 5)
+	if !g.CoverValid(c, center) {
+		t.Fatal("fresh cover invalid")
+	}
+	// Within-cell move inside the cover: clean.
+	g.Move(2, Pt(27, 7))
+	if !g.CoverValid(c, center) {
+		t.Fatal("within-cell move dirtied the cover")
+	}
+	// Cell crossing far outside the cover: clean.
+	g.Move(3, Pt(85, 85))
+	if !g.CoverValid(c, center) {
+		t.Fatal("far crossing dirtied the cover")
+	}
+	// Crossing between two cells both inside the cover preserves the
+	// union: clean.
+	g.Move(2, Pt(27, 17))
+	if !g.CoverValid(c, center) {
+		t.Fatal("union-preserving crossing dirtied the cover")
+	}
+	// Crossing out of the cover: dirty.
+	g.Move(2, Pt(45, 17))
+	if g.CoverValid(c, center) {
+		t.Fatal("crossing out of the cover left it clean")
+	}
+	// Refresh restores validity against the current state.
+	g.Refresh(c)
+	if !g.CoverValid(c, center) {
+		t.Fatal("refreshed cover still invalid")
+	}
+	// Insert into a covered cell: dirty again.
+	g.Insert(4, Pt(15, 15))
+	if g.CoverValid(c, center) {
+		t.Fatal("insert into a covered cell left the cover clean")
+	}
+	g.Refresh(c)
+	// Remove from a covered cell: dirty.
+	g.Remove(4)
+	if g.CoverValid(c, center) {
+		t.Fatal("remove from a covered cell left the cover clean")
+	}
+	// An anchor move alone invalidates, even while clean.
+	g.Refresh(c)
+	if g.CoverValid(c, Pt(15, 5)) {
+		t.Fatal("cover valid for a center outside its anchor cell")
+	}
+}
+
+func TestCoverAnchoredAndRelease(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(5, 5))
+	c := g.CoverFor(Pt(5, 5), 15)
+	if !g.Anchored(c, Pt(7, 7), 15) {
+		t.Fatal("cover not anchored for a same-cell center")
+	}
+	if g.Anchored(c, Pt(15, 5), 15) {
+		t.Fatal("cover anchored for a different cell")
+	}
+	if g.Anchored(c, Pt(7, 7), 20) {
+		t.Fatal("cover anchored for a different radius")
+	}
+	g.Release(c)
+	if g.Anchored(c, Pt(7, 7), 15) || g.CoverValid(c, Pt(7, 7)) {
+		t.Fatal("released cover still usable")
+	}
+	g.Refresh(c) // no-op on released covers
+	if g.CoverValid(c, Pt(7, 7)) {
+		t.Fatal("refresh revived a released cover")
+	}
+	g.Release(c) // double release is a no-op
+	g.Release(nil)
+}
+
+func TestCoverWatcherSwapRemoval(t *testing.T) {
+	// Several covers over the same cells; releasing one in the middle
+	// must keep dirty delivery intact for the others (the swap-removal
+	// back-reference fix).
+	g := NewGrid(10)
+	g.Insert(1, Pt(5, 5))
+	covers := make([]*Cover, 5)
+	for i := range covers {
+		covers[i] = g.CoverFor(Pt(5, 5), 15)
+	}
+	g.Release(covers[1])
+	g.Release(covers[3])
+	g.Insert(2, Pt(5, 7)) // membership change in a shared cell
+	for _, i := range []int{0, 2, 4} {
+		if g.CoverValid(covers[i], Pt(5, 5)) {
+			t.Fatalf("cover %d missed the dirty mark after sibling releases", i)
+		}
+	}
+}
+
+func TestCoverForRejectsUnboundedRadius(t *testing.T) {
+	g := NewGrid(10)
+	for _, r := range []float64{math.Inf(1), math.NaN(), -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CoverFor(%v) did not panic", r)
+				}
+			}()
+			g.CoverFor(Pt(0, 0), r)
+		}()
+	}
+}
+
+func TestVisitCoverIsSupersetOfCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGrid(20)
+	for id := 1; id <= 300; id++ {
+		g.Insert(id, Pt(rng.Float64()*400-200, rng.Float64()*400-200))
+	}
+	for trial := 0; trial < 25; trial++ {
+		center := Pt(rng.Float64()*400-200, rng.Float64()*400-200)
+		radius := rng.Float64() * 120
+		cover := g.CoverFor(center, radius)
+		inCover := make(map[int]bool)
+		g.VisitCover(cover, func(id int, _ Point) { inCover[id] = true })
+		for _, id := range collectCircle(g, center, radius) {
+			if !inCover[id] {
+				t.Fatalf("trial %d: circle entry %d missing from cover visit", trial, id)
+			}
+		}
+		// The superset property must hold for any center within the
+		// anchor cell (the one-cell margin contract).
+		shifted := Pt(center.X+19.9*(rng.Float64()-0.5), center.Y+19.9*(rng.Float64()-0.5))
+		if g.keyFor(shifted) == cover.anchor {
+			for _, id := range collectCircle(g, shifted, radius) {
+				if !inCover[id] {
+					t.Fatalf("trial %d: margin violated for shifted center", trial)
+				}
+			}
+		}
+		g.Release(cover)
+	}
+}

@@ -116,6 +116,14 @@ func (m *Mover) String() string {
 // RandomWaypoint produces a random-waypoint path inside bounds: n legs
 // between uniformly random points at the given speed. Randomness comes
 // from the kernel, preserving determinism per seed.
+//
+// A speed that is not positive and finite (zero, negative, NaN, ±Inf)
+// cannot traverse legs; rather than yield a path whose Duration is 0 or
+// whose positions are NaN, the result is a single-waypoint stationary
+// path at the first random point (the geo.Path contract guards the same
+// way, so even a hand-built bad path is safe). The random draws for the
+// remaining waypoints still happen, keeping the kernel's random stream
+// identical whether or not a scenario's speed parameter is valid.
 func RandomWaypoint(k *sim.Kernel, bounds geo.Rect, n int, speedMPS float64) geo.Path {
 	if n < 1 {
 		n = 1
@@ -128,7 +136,102 @@ func RandomWaypoint(k *sim.Kernel, bounds geo.Rect, n int, speedMPS float64) geo
 			bounds.Min.Y+rng.Float64()*bounds.Height(),
 		))
 	}
+	if !geo.ValidSpeed(speedMPS) {
+		return geo.Path{Waypoints: pts[:1]}
+	}
 	return geo.Path{Waypoints: pts, SpeedMPS: speedMPS}
+}
+
+// Wanderer drives continuous random-waypoint motion: from its start
+// position it picks a uniformly random destination inside bounds, walks
+// there at constant speed (sampling every tick), then immediately picks
+// the next destination, forever, until stopped. This is the classic
+// mobile-dense workload: hundreds of Wanderers keep the radio medium's
+// spatial index under constant movement pressure. Randomness comes from
+// the kernel, so runs are deterministic per seed.
+type Wanderer struct {
+	kernel *sim.Kernel
+	bounds geo.Rect
+	speed  float64
+	tick   sim.Time
+	apply  func(geo.Point)
+	cur    geo.Point
+	mover  *Mover
+	done   bool
+	legs   int
+}
+
+// StartWander begins wandering from start. The apply callback receives
+// every sampled position (starting immediately with start itself); tick
+// defaults to DefaultTick when <= 0. A speed that is not positive and
+// finite produces a Wanderer that applies start once and is immediately
+// Done — never a zero-duration leg loop.
+func StartWander(k *sim.Kernel, start geo.Point, bounds geo.Rect, speedMPS float64, tick sim.Time, apply func(geo.Point)) *Wanderer {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	w := &Wanderer{kernel: k, bounds: bounds, speed: speedMPS, tick: tick, apply: apply, cur: start}
+	if !geo.ValidSpeed(speedMPS) {
+		if apply != nil {
+			apply(start)
+		}
+		w.done = true
+		return w
+	}
+	w.nextLeg()
+	return w
+}
+
+func (w *Wanderer) nextLeg() {
+	if w.done {
+		return
+	}
+	rng := w.kernel.Rand()
+	dest := geo.Pt(
+		w.bounds.Min.X+rng.Float64()*w.bounds.Width(),
+		w.bounds.Min.Y+rng.Float64()*w.bounds.Height(),
+	)
+	if dest == w.cur {
+		// Degenerate bounds pin every draw to the current position
+		// (probability zero otherwise): park instead of spinning
+		// zero-duration legs at one instant, which would hang the kernel.
+		w.done = true
+		return
+	}
+	path := geo.Path{Waypoints: []geo.Point{w.cur, dest}, SpeedMPS: w.speed}
+	w.legs++
+	w.mover = Start(w.kernel, path, w.tick, func(p geo.Point) {
+		w.cur = p
+		if w.apply != nil {
+			w.apply(p)
+		}
+	})
+	w.mover.OnArrive = w.nextLeg
+}
+
+// Stop halts the wanderer at its current position.
+func (w *Wanderer) Stop() {
+	if w.done {
+		return
+	}
+	w.done = true
+	if w.mover != nil {
+		w.mover.Stop()
+	}
+}
+
+// Done reports whether the wanderer has been stopped.
+func (w *Wanderer) Done() bool { return w.done }
+
+// Legs returns the number of legs started so far.
+func (w *Wanderer) Legs() int { return w.legs }
+
+// Pos returns the last sampled position.
+func (w *Wanderer) Pos() geo.Point { return w.cur }
+
+// String summarizes the wanderer.
+func (w *Wanderer) String() string {
+	return fmt.Sprintf("wanderer{leg %d at %s, done=%v}", w.legs, w.cur, w.done)
 }
 
 // Patrol builds a path that walks the given waypoints and returns to the

@@ -156,3 +156,124 @@ func TestMoverString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestRandomWaypointInvalidSpeedStationary(t *testing.T) {
+	bounds := geo.RectAt(0, 0, 100, 100)
+	for _, speed := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		k := sim.New(9)
+		p := RandomWaypoint(k, bounds, 5, speed)
+		if len(p.Waypoints) != 1 {
+			t.Fatalf("speed %v: waypoints = %d, want a single stationary point", speed, len(p.Waypoints))
+		}
+		if d := p.Duration(); d != 0 || math.IsNaN(d) {
+			t.Fatalf("speed %v: Duration = %v, want 0", speed, d)
+		}
+		got := p.PositionAt(1e6)
+		if math.IsNaN(got.X) || math.IsNaN(got.Y) || !bounds.Contains(got) {
+			t.Fatalf("speed %v: position %v escaped or NaN", speed, got)
+		}
+	}
+	// The random draws are consumed either way, so a scenario's kernel
+	// stream does not depend on whether the speed parameter was valid.
+	a, b := sim.New(9), sim.New(9)
+	RandomWaypoint(a, bounds, 5, 2)
+	RandomWaypoint(b, bounds, 5, -1)
+	if a.Rand().Float64() != b.Rand().Float64() {
+		t.Fatal("invalid speed changed the kernel random stream")
+	}
+}
+
+func TestWandererWalksInsideBounds(t *testing.T) {
+	k := sim.New(4)
+	bounds := geo.RectAt(0, 0, 50, 50)
+	var samples []geo.Point
+	w := StartWander(k, geo.Pt(25, 25), bounds, 5, 100*sim.Millisecond, func(p geo.Point) {
+		samples = append(samples, p)
+	})
+	k.RunFor(30 * sim.Second)
+	if w.Done() {
+		t.Fatal("wanderer stopped on its own")
+	}
+	if w.Legs() < 2 {
+		t.Fatalf("legs = %d, want continuous wandering", w.Legs())
+	}
+	if len(samples) < 100 {
+		t.Fatalf("samples = %d, want steady sampling", len(samples))
+	}
+	moved := false
+	for _, p := range samples {
+		if !bounds.Contains(p) {
+			t.Fatalf("wanderer escaped bounds: %v", p)
+		}
+		if p != samples[0] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("wanderer never moved")
+	}
+	n := len(samples)
+	w.Stop()
+	if !w.Done() {
+		t.Fatal("Stop did not finish the wanderer")
+	}
+	k.RunFor(5 * sim.Second)
+	if len(samples) != n {
+		t.Fatal("stopped wanderer kept sampling")
+	}
+}
+
+func TestWandererDeterministicPerSeed(t *testing.T) {
+	run := func() []geo.Point {
+		k := sim.New(12)
+		var samples []geo.Point
+		StartWander(k, geo.Pt(10, 10), geo.RectAt(0, 0, 80, 80), 3, 0, func(p geo.Point) {
+			samples = append(samples, p)
+		})
+		k.RunFor(20 * sim.Second)
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWandererInvalidSpeedParksImmediately(t *testing.T) {
+	k := sim.New(1)
+	applied := 0
+	w := StartWander(k, geo.Pt(5, 5), geo.RectAt(0, 0, 10, 10), 0, 0, func(geo.Point) { applied++ })
+	if !w.Done() || w.Legs() != 0 {
+		t.Fatalf("zero-speed wanderer should park: done=%v legs=%d", w.Done(), w.Legs())
+	}
+	if applied != 1 {
+		t.Fatalf("start position applied %d times, want 1", applied)
+	}
+	k.RunFor(10 * sim.Second) // must not livelock on zero-duration legs
+	if applied != 1 {
+		t.Fatalf("parked wanderer kept moving: %d applies", applied)
+	}
+}
+
+func TestWandererDegenerateBoundsParks(t *testing.T) {
+	// Zero-area bounds pin every destination draw to one point; the
+	// wanderer must park rather than spin zero-duration legs forever.
+	k := sim.New(2)
+	w := StartWander(k, geo.Pt(3, 3), geo.Rect{Min: geo.Pt(3, 3), Max: geo.Pt(3, 3)}, 2, 0, nil)
+	k.RunFor(10 * sim.Second) // must terminate
+	if !w.Done() {
+		t.Fatal("degenerate-bounds wanderer did not park")
+	}
+	// Start away from the pinned point: one leg walks there, then parks.
+	k2 := sim.New(2)
+	w2 := StartWander(k2, geo.Pt(0, 0), geo.Rect{Min: geo.Pt(3, 3), Max: geo.Pt(3, 3)}, 2, 0, nil)
+	k2.RunFor(10 * sim.Second)
+	if !w2.Done() || w2.Pos() != geo.Pt(3, 3) {
+		t.Fatalf("wanderer should walk to the pinned point and park: done=%v pos=%v", w2.Done(), w2.Pos())
+	}
+}

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"aroma/internal/env"
@@ -68,4 +69,81 @@ func BenchmarkMediumDense1000FullScan(b *testing.B) {
 func BenchmarkMediumDense500ChannelOnly(b *testing.B) { benchDense(b, 500, orthogonal) }
 func BenchmarkMediumDense500ChannelOnlyFullScan(b *testing.B) {
 	benchDense(b, 500, orthogonal, WithFullScan())
+}
+
+// benchDenseMobile measures the PHY hot path while the whole world
+// moves: every radio takes one 0.28 m step per burst, interleaved with
+// the transmissions the way mobility ticks interleave with traffic in a
+// live scenario. Steps mostly stay inside one default-size grid cell (a few
+// percent cross a boundary each burst), which is exactly the shape the
+// global-generation wipe degenerates on: each move batch invalidates
+// every candidate cache, so nearly every candidatesFor — delivery,
+// interference ledger, energy sums — pays a rebuild. The Cell/Global
+// pairs run identical workloads (identical physics and receipts) and
+// differ only in invalidation granularity; WithGlobalInvalidation is
+// the wipe-the-world reference arm.
+func benchDenseMobile(b *testing.B, n int, opts ...MediumOption) {
+	b.Helper()
+	k := sim.New(1)
+	// Constant density: the arena grows with the fleet, so the 500- and
+	// 1000-radio runs stress invalidation at the same neighbourhood size.
+	side := 2500.0 * math.Sqrt(float64(n)/500.0)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, side, side)))
+	m := NewMedium(k, e, opts...)
+	cols := 32
+	radios := make([]*Radio, n)
+	headings := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		pos := geo.Pt(float64(i%cols)*(side/float64(cols)), float64(i/cols)*(side/float64(cols)))
+		// 0 dBm against the -100 dBm cutoff hears out to ~100 m: local
+		// neighbourhoods, so the spatial index has real work to do.
+		r := m.NewRadio(fmt.Sprintf("r%d", i), pos, allChannels[i%len(allChannels)], 0)
+		r.OnReceive = func(Receipt) {}
+		radios[i] = r
+		a := 2 * math.Pi * float64(i) / float64(n)
+		headings[i] = geo.Pt(0.28*math.Cos(a), 0.28*math.Sin(a))
+	}
+	step := func(i int) {
+		r := radios[i]
+		r.SetPos(geo.Pt(
+			math.Mod(r.Pos.X+headings[i].X+side, side),
+			math.Mod(r.Pos.Y+headings[i].Y+side, side),
+		))
+	}
+	const burst = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			src := radios[(i*burst+j*17)%n]
+			lo, hi := j*n/burst, (j+1)*n/burst
+			k.Schedule(sim.Time(j)*50*sim.Microsecond, "bench.moveTx", func() {
+				for idx := lo; idx < hi; idx++ {
+					step(idx)
+				}
+				if _, err := m.Transmit(src, 2000, Rates[0], nil); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+		k.Run()
+	}
+}
+
+var denseMobileGlobal = []MediumOption{
+	WithRxCutoffDBm(-100), WithGlobalInvalidation(),
+}
+
+func BenchmarkMediumDenseMobile500Cell(b *testing.B) {
+	benchDenseMobile(b, 500, WithRxCutoffDBm(-100))
+}
+func BenchmarkMediumDenseMobile500Global(b *testing.B) {
+	benchDenseMobile(b, 500, denseMobileGlobal...)
+}
+
+func BenchmarkMediumDenseMobile1000Cell(b *testing.B) {
+	benchDenseMobile(b, 1000, WithRxCutoffDBm(-100))
+}
+func BenchmarkMediumDenseMobile1000Global(b *testing.B) {
+	benchDenseMobile(b, 1000, denseMobileGlobal...)
 }

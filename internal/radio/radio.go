@@ -37,6 +37,20 @@
 //     (WithRxCutoffDBm): radios beyond the conservative maximum range at
 //     which the cutoff could still be met are skipped entirely.
 //
+// Candidate sets are cached per radio with cell-granular invalidation,
+// so mobile worlds do not pay a global cache wipe per move: a cache
+// records the grid cells its hearing-range circle covers (a geo.Cover)
+// and revalidates against their per-cell generations. Only a move that
+// crosses a cell boundary — or an attach, detach, or retune within the
+// cache's coverage — forces a rebuild; a move inside one cell is free.
+// Retunes invalidate only caches whose 5-channel overlap window touches
+// the old or new channel (per-channel generation counters), not the
+// whole world. The cached set is a cell-conservative superset of the
+// hearing circle; delivery, interference, and energy accounting apply
+// the exact range check at use time, so the physics is identical to a
+// full rebuild per move (WithGlobalInvalidation, the benchmark
+// reference) while mobility stays cheap.
+//
 // WithFullScan restores the naive scan of every attached radio (still in
 // deterministic ID order) as a reference mode for benchmarks and physics
 // cross-checks.
@@ -134,9 +148,11 @@ type Transmission struct {
 	Start   sim.Time
 	End     sim.Time
 	payload any
-	// rangeM is the conservative hearing range for this transmission when
-	// the medium has a receive cutoff; +Inf otherwise.
-	rangeM float64
+	// range2 is the squared conservative hearing range for this
+	// transmission when the medium has a receive cutoff; +Inf otherwise.
+	// Squared so the hot-path checks compare against squared distances
+	// without a square root.
+	range2 float64
 	// interferenceMW accumulates, per prospective receiver radio ID, the
 	// worst-case interference power observed while this transmission was
 	// in the air.
@@ -182,40 +198,66 @@ type Radio struct {
 
 	medium *Medium
 
-	// cand caches the radios that can hear this one (candidatesFor),
-	// valid while candGen matches the medium's topology generation and
-	// the transmit power is unchanged. The cached slice is immutable:
-	// topology changes produce a new slice, so in-flight iterations over
-	// an old snapshot stay safe.
-	cand      []*Radio
-	candGen   uint64
-	candPower float64
+	// cand caches the radios that could hear this one (candidatesFor).
+	// The cached slice is immutable: rebuilds allocate a fresh slice, so
+	// in-flight iterations over an old snapshot stay safe. Validity is
+	// mode-dependent (candValid): full-scan and global-invalidation modes
+	// compare candGen against the medium's coarse topology generation;
+	// the indexed modes compare the channel-window generation sum
+	// (candChanSum, for candChannel's overlap window) and — with the
+	// spatial cutoff — check candCover, whose dirty flag the grid sets
+	// when a covered cell's membership changes. candPower guards the
+	// hearing range in all modes.
+	cand        []*Radio
+	candGen     uint64
+	candPower   float64
+	candChannel int
+	candChanSum uint64
+	candCover   *geo.Cover
 }
 
 // SetPos moves the radio, keeping the medium's spatial index in sync.
-// Detached radios just update their position. Without a receive cutoff
-// the candidate sets are position-independent, so moves neither touch
-// the grid nor invalidate caches.
+// A call with the radio's current position is a no-op: it neither
+// touches the grid nor bumps any generation, so movers may re-apply a
+// sampled position freely. Detached radios just update their position.
+// Without a receive cutoff the candidate sets are position-independent,
+// so moves neither touch the grid nor invalidate caches. With the
+// cutoff, only a move that crosses a grid-cell boundary invalidates
+// caches — and only those whose coverage includes the source or
+// destination cell (geo.Grid's per-cell generations).
 func (r *Radio) SetPos(p geo.Point) {
+	if p == r.Pos {
+		return
+	}
 	r.Pos = p
 	if m := r.medium; m != nil && m.cutoffEnabled() && m.attached(r) {
 		m.grid.Move(r.ID, p)
-		m.topoGen++
+		if m.globalInval {
+			m.topoGen++
+		}
 	}
 }
 
 // SetChannel retunes the radio, clamping to the legal range and keeping
-// the medium's channel partition in sync.
+// the medium's channel partition in sync. A retune invalidates only the
+// candidate caches whose 5-channel overlap window touches the old or new
+// channel; radios spectrally out of reach keep their caches.
 func (r *Radio) SetChannel(ch int) {
 	ch = clampChannel(ch)
 	if ch == r.Channel {
 		return
 	}
-	if r.medium != nil && r.medium.attached(r) {
-		r.medium.channelRemove(r)
+	if m := r.medium; m != nil && m.attached(r) {
+		m.channelRemove(r)
+		old := r.Channel
 		r.Channel = ch
-		r.medium.channelInsert(r)
-		r.medium.topoGen++
+		m.channelInsert(r)
+		if m.globalInval {
+			m.topoGen++
+		} else {
+			m.chanGen[old]++
+			m.chanGen[ch]++
+		}
 		return
 	}
 	r.Channel = ch
@@ -267,6 +309,17 @@ func WithFullScan() MediumOption {
 	return func(m *Medium) { m.fullScan = true }
 }
 
+// WithGlobalInvalidation makes every topology change — including every
+// cutoff-enabled move and every retune — bump one medium-wide generation
+// that wipes all candidate caches, instead of the default cell- and
+// channel-granular invalidation. Physics and digests are identical to
+// the default; only rebuild frequency differs. This is the reference
+// arm for the BenchmarkMediumDenseMobile* comparison and for
+// cross-checking the granular invalidation, not a mode to run worlds in.
+func WithGlobalInvalidation() MediumOption {
+	return func(m *Medium) { m.globalInval = true }
+}
+
 // Medium is the shared 2.4 GHz band.
 type Medium struct {
 	kernel *sim.Kernel
@@ -286,14 +339,23 @@ type Medium struct {
 	nextID int
 	seq    uint64
 
-	cutoffDBm float64 // receive cutoff; -Inf disables the spatial skip
-	gridCell  float64
-	fullScan  bool
+	cutoffDBm   float64 // receive cutoff; -Inf disables the spatial skip
+	gridCell    float64
+	fullScan    bool
+	globalInval bool
 
-	// topoGen counts topology changes (attach, detach, move, retune);
-	// per-radio candidate caches are valid only for the generation they
-	// were built in.
+	// topoGen counts membership changes (attach, detach) — the only
+	// events that invalidate full-scan candidate caches. In
+	// WithGlobalInvalidation mode it additionally counts every move and
+	// retune, restoring the coarse wipe-the-world behaviour.
 	topoGen uint64
+
+	// chanGen counts, per channel, the attaches, detaches, and retunes
+	// touching that channel. A candidate cache built for channel c is
+	// invalidated by a change to the generation sum over c's 5-channel
+	// overlap window — and only by that, so a retune on the far side of
+	// the band leaves it untouched.
+	chanGen [MaxChannel + 1]uint64
 
 	// Stats
 	Sent      uint64
@@ -348,8 +410,9 @@ func (m *Medium) NewRadio(name string, pos geo.Point, channel int, txPowerDBm fl
 	m.radios[r.ID] = r
 	m.ordered = append(m.ordered, r) // IDs are monotonic: stays sorted
 	m.channelInsert(r)
-	m.grid.Insert(r.ID, pos)
+	m.grid.Insert(r.ID, pos) // bumps the destination cell's generation
 	m.topoGen++
+	m.chanGen[r.Channel]++
 	return r
 }
 
@@ -382,8 +445,11 @@ func (m *Medium) Detach(r *Radio) {
 		m.ordered = append(m.ordered[:i], m.ordered[i+1:]...)
 	}
 	m.channelRemove(r)
-	m.grid.Remove(r.ID)
+	m.grid.Remove(r.ID) // bumps the vacated cell's generation
+	m.grid.Release(r.candCover)
+	r.cand, r.candCover = nil, nil
 	m.topoGen++
+	m.chanGen[r.Channel]++
 }
 
 // Radios returns the number of attached radios.
@@ -399,23 +465,67 @@ func (m *Medium) hearingRange(r *Radio) float64 {
 	return m.env.MaxRangeForCutoff(r.TxPowerDBm, m.cutoffDBm)
 }
 
+// overlapWindow returns the inclusive channel range spectrally coupled
+// to ch (nonzero ChannelOverlap), clamped to the legal band.
+func overlapWindow(ch int) (lo, hi int) {
+	lo, hi = ch-(maxOverlapDistance-1), ch+(maxOverlapDistance-1)
+	if lo < MinChannel {
+		lo = MinChannel
+	}
+	if hi > MaxChannel {
+		hi = MaxChannel
+	}
+	return lo, hi
+}
+
+// chanGenSum sums the per-channel generations over [lo, hi]. Generations
+// only grow, so the sum changes iff any channel in the window changed.
+func (m *Medium) chanGenSum(lo, hi int) uint64 {
+	var s uint64
+	for ch := lo; ch <= hi; ch++ {
+		s += m.chanGen[ch]
+	}
+	return s
+}
+
 // candidatesFor returns every attached radio that could receive energy
 // from src — spectrally overlapping channel and, when the cutoff is
-// enabled, within src's conservative hearing range — excluding src
-// itself, in ascending radio-ID order.
+// enabled, within the grid cells covering src's hearing-range circle —
+// excluding src itself, in ascending radio-ID order. With the cutoff the
+// set is a cell-conservative superset of the hearing circle: use sites
+// apply the exact per-transmission range check themselves.
 //
-// The result is cached on src and reused until the medium's topology
-// changes (attach, detach, move, retune) or src's transmit power does.
+// The result is cached on src and revalidated per call (candValid);
+// rebuilds happen only when a relevant slice of the topology changed.
 // Callers must treat the returned slice as immutable; it is safe to keep
 // iterating across a topology change mid-delivery, because rebuilds
 // allocate a fresh slice.
 func (m *Medium) candidatesFor(src *Radio) []*Radio {
-	if src.cand != nil && src.candGen == m.topoGen && src.candPower == src.TxPowerDBm {
+	if src.cand != nil && src.candPower == src.TxPowerDBm && m.candValid(src) {
 		return src.cand
 	}
 	out := m.buildCandidates(src)
-	src.cand, src.candGen, src.candPower = out, m.topoGen, src.TxPowerDBm
+	src.cand, src.candPower = out, src.TxPowerDBm
 	return out
+}
+
+// candValid reports whether src's cached candidate set still describes
+// the medium, per the active indexing mode.
+func (m *Medium) candValid(src *Radio) bool {
+	if m.fullScan || m.globalInval {
+		return src.candGen == m.topoGen
+	}
+	if src.Channel != src.candChannel {
+		return false
+	}
+	lo, hi := overlapWindow(src.Channel)
+	if src.candChanSum != m.chanGenSum(lo, hi) {
+		return false
+	}
+	if !m.cutoffEnabled() {
+		return true
+	}
+	return m.grid.CoverValid(src.candCover, src.Pos)
 }
 
 func (m *Medium) buildCandidates(src *Radio) []*Radio {
@@ -426,25 +536,45 @@ func (m *Medium) buildCandidates(src *Radio) []*Radio {
 				dst = append(dst, r)
 			}
 		}
+		src.candGen = m.topoGen
 		return dst
 	}
-	lo := src.Channel - (maxOverlapDistance - 1)
-	hi := src.Channel + (maxOverlapDistance - 1)
-	if lo < MinChannel {
-		lo = MinChannel
-	}
-	if hi > MaxChannel {
-		hi = MaxChannel
-	}
+	src.candGen = m.topoGen
+	src.candChannel = src.Channel
+	lo, hi := overlapWindow(src.Channel)
+	src.candChanSum = m.chanGenSum(lo, hi)
 	if m.cutoffEnabled() {
 		rangeM := m.hearingRange(src)
-		m.grid.VisitCircle(src.Pos, rangeM, func(id int, _ geo.Point) {
+		collect := func(id int, _ geo.Point) {
 			r := m.radios[id]
 			if r == src || r.Channel < lo || r.Channel > hi {
 				return
 			}
 			dst = append(dst, r)
-		})
+		}
+		if m.globalInval {
+			// Reference mode: exact circle at build time, rebuilt on
+			// every move — the pre-cell-granular behaviour.
+			m.grid.VisitCircle(src.Pos, rangeM, collect)
+		} else {
+			cover := src.candCover
+			if m.grid.Anchored(cover, src.Pos, rangeM) {
+				// Same cell box: reuse the registration, just re-walk.
+				m.grid.Refresh(cover)
+			} else {
+				m.grid.Release(cover)
+				cover = m.grid.CoverFor(src.Pos, rangeM)
+				src.candCover = cover
+			}
+			m.grid.VisitCover(cover, collect)
+			if !m.attached(src) {
+				// A detached radio can rebuild once more while its last
+				// transmission is in flight; don't leave a registered
+				// cover behind that nothing would ever release.
+				m.grid.Release(cover)
+				src.candCover = nil
+			}
+		}
 		// The grid visits cell-major; restore the global ID order.
 		sort.Sort(byID(dst))
 		return dst
@@ -493,6 +623,16 @@ func (m *Medium) buildCandidates(src *Radio) []*Radio {
 	}
 }
 
+// distSq returns the squared Euclidean distance between two points; the
+// hot paths compare it against squared ranges to avoid the square root.
+func distSq(a, b geo.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// squared returns v*v, preserving +Inf (the disabled-cutoff range).
+func squared(v float64) float64 { return v * v }
+
 // byID sorts radios by ascending ID.
 type byID []*Radio
 
@@ -519,7 +659,7 @@ func (m *Medium) EnergyAtDBm(r *Radio) float64 {
 		if ov == 0 {
 			continue
 		}
-		if tx.Src.Pos.Dist(r.Pos) > tx.rangeM {
+		if distSq(tx.Src.Pos, r.Pos) > tx.range2 {
 			continue // below the receive cutoff by construction
 		}
 		rx := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, r.Pos)
@@ -571,7 +711,7 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 		Start:          now,
 		End:            now + sim.Time(airSeconds*float64(sim.Second)),
 		payload:        payload,
-		rangeM:         m.hearingRange(r),
+		range2:         squared(m.hearingRange(r)),
 		interferenceMW: make(map[int]float64),
 	}
 	// Record mutual interference with all currently active transmissions,
@@ -589,7 +729,9 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 
 // recordInterference adds other's power into victim's per-receiver
 // interference ledger. hearers is the candidate set for other.Src (the
-// radios that can hear the interfering emission), in ascending ID order.
+// radios that could hear the interfering emission), in ascending ID
+// order; receivers beyond other's exact hearing range are skipped here,
+// since the candidate set is only cell-conservative.
 func (m *Medium) recordInterference(victim, other *Transmission, hearers []*Radio) {
 	for _, rx := range hearers {
 		if rx.ID == victim.Src.ID {
@@ -598,6 +740,9 @@ func (m *Medium) recordInterference(victim, other *Transmission, hearers []*Radi
 		ov := ChannelOverlap(other.Src.Channel, rx.Channel)
 		if ov == 0 {
 			continue
+		}
+		if distSq(other.Src.Pos, rx.Pos) > other.range2 {
+			continue // below the receive cutoff by construction
 		}
 		p := env.DBmToMilliwatts(m.env.ReceivedPowerDBm(other.Src.TxPowerDBm, other.Src.Pos, rx.Pos)) * ov
 		victim.interferenceMW[rx.ID] += p
@@ -616,8 +761,21 @@ func (m *Medium) finish(tx *Transmission) {
 	noiseMW := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
 	// The candidate snapshot is immutable: OnReceive callbacks may
 	// transmit or attach/detach radios without disturbing this delivery
-	// round (detached receivers are re-checked below).
+	// round (detached receivers are re-checked below). The exact range
+	// decision is likewise frozen here, before any callback runs: a
+	// callback that moves a radio must not change this round's delivery
+	// membership, or the cell-conservative superset and a rebuilt exact
+	// circle would disagree.
 	receivers := m.candidatesFor(tx.Src)
+	if !math.IsInf(tx.range2, 1) {
+		inRange := make([]*Radio, 0, len(receivers))
+		for _, rx := range receivers {
+			if distSq(tx.Src.Pos, rx.Pos) <= tx.range2 {
+				inRange = append(inRange, rx)
+			}
+		}
+		receivers = inRange
+	}
 	for _, rx := range receivers {
 		if rx.OnReceive == nil || !m.attached(rx) {
 			continue

@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -474,5 +475,290 @@ func TestCutoffSkipsOnlyInaudibleRadios(t *testing.T) {
 	d2, l2 := run(WithRxCutoffDBm(-95))
 	if d1 != d2 || l1 != l2 {
 		t.Fatalf("cutoff changed close-range outcomes: %d/%d vs %d/%d", d1, l1, d2, l2)
+	}
+}
+
+// sameBacking reports whether two candidate slices share a backing
+// array — i.e. the cache was reused rather than rebuilt.
+func sameBacking(a, b []*Radio) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func TestSetPosUnchangedPositionIsFree(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 200, 200)))
+	m := NewMedium(k, e, WithRxCutoffDBm(-95))
+	a := m.NewRadio("a", geo.Pt(10, 10), 6, 15)
+	m.NewRadio("b", geo.Pt(20, 10), 6, 15)
+	c1 := m.candidatesFor(a)
+	a.SetPos(a.Pos) // no-op move: must not touch the grid or any cache
+	if !sameBacking(c1, m.candidatesFor(a)) {
+		t.Fatal("SetPos with unchanged position invalidated the candidate cache")
+	}
+	// Same guard in global-invalidation mode.
+	mg := NewMedium(k, e, WithRxCutoffDBm(-95), WithGlobalInvalidation())
+	ag := mg.NewRadio("a", geo.Pt(10, 10), 6, 15)
+	mg.NewRadio("b", geo.Pt(20, 10), 6, 15)
+	g1 := mg.candidatesFor(ag)
+	ag.SetPos(ag.Pos)
+	if !sameBacking(g1, mg.candidatesFor(ag)) {
+		t.Fatal("global mode: SetPos with unchanged position wiped caches")
+	}
+}
+
+func TestCellGranularInvalidation(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 200, 200)))
+	// 15 dBm at a -60 dBm cutoff hears out to ~14.7 m; 10 m cells keep
+	// the cover box tight around b so the cases below are unambiguous.
+	m := NewMedium(k, e, WithRxCutoffDBm(-60), WithGridCellM(10))
+	b := m.NewRadio("b", geo.Pt(5, 5), 6, 15)
+	near := m.NewRadio("near", geo.Pt(15, 5), 6, 15)  // in range
+	edge := m.NewRadio("edge", geo.Pt(25, 5), 6, 15)  // in b's box, out of range
+	far := m.NewRadio("far", geo.Pt(95, 95), 6, 15)   // far outside b's box
+	_ = near
+
+	c1 := m.candidatesFor(b)
+	// The candidate set is cell-conservative: edge sits in a covered
+	// cell, so it is listed even though it is beyond hearing range.
+	found := false
+	for _, r := range c1 {
+		if r == edge {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cell-conservative candidate set should include in-box out-of-range radios")
+	}
+
+	// A within-cell move far away leaves b's cache untouched.
+	far.SetPos(geo.Pt(96, 96))
+	if !sameBacking(c1, m.candidatesFor(b)) {
+		t.Fatal("within-cell move of an unrelated radio invalidated b's cache")
+	}
+	// Even a cell-crossing move leaves b untouched when both cells are
+	// outside b's cover.
+	far.SetPos(geo.Pt(85, 85))
+	if !sameBacking(c1, m.candidatesFor(b)) {
+		t.Fatal("far cell crossing invalidated b's cache")
+	}
+	// A crossing between two cells both inside b's cover preserves the
+	// cover's union, so the cache also survives.
+	near.SetPos(geo.Pt(5, 15))
+	if !sameBacking(c1, m.candidatesFor(b)) {
+		t.Fatal("union-preserving crossing inside the cover invalidated b's cache")
+	}
+	// But a crossing out of b's cover rebuilds it.
+	edge.SetPos(geo.Pt(41, 5))
+	c2 := m.candidatesFor(b)
+	if sameBacking(c1, c2) {
+		t.Fatal("crossing out of the cover did not invalidate b's cache")
+	}
+	for _, r := range c2 {
+		if r == edge {
+			t.Fatal("rebuilt candidate set still lists the departed radio")
+		}
+	}
+	// And b's own cell crossing rebuilds b's cache (anchor moved).
+	c3 := m.candidatesFor(b)
+	b.SetPos(geo.Pt(15, 15))
+	if sameBacking(c3, m.candidatesFor(b)) {
+		t.Fatal("b's own cell crossing did not invalidate its cache")
+	}
+}
+
+func TestDeliveryAppliesExactRangeAtUseTime(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 200, 200)))
+	m := NewMedium(k, e, WithRxCutoffDBm(-60), WithGridCellM(10))
+	b := m.NewRadio("b", geo.Pt(5, 5), 6, 15)
+	near := m.NewRadio("near", geo.Pt(15, 5), 6, 15) // ~10 m: audible
+	edge := m.NewRadio("edge", geo.Pt(25, 5), 6, 15) // ~20 m: in box, below cutoff
+	nearGot, edgeGot := 0, 0
+	near.OnReceive = func(Receipt) { nearGot++ }
+	edge.OnReceive = func(Receipt) { edgeGot++ }
+	if _, err := m.Transmit(b, 800, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if nearGot != 1 {
+		t.Fatalf("in-range radio receipts = %d, want 1", nearGot)
+	}
+	if edgeGot != 0 {
+		t.Fatal("radio beyond the cutoff range received a receipt despite being in the candidate superset")
+	}
+}
+
+func TestSetChannelInvalidatesOnlyOverlapWindow(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 100, 100)))
+	m := NewMedium(k, e) // channel-partition mode, no cutoff
+	src := m.NewRadio("src", geo.Pt(0, 0), 1, 15)
+	m.NewRadio("w", geo.Pt(5, 0), 3, 15)
+	x := m.NewRadio("x", geo.Pt(10, 0), 11, 15)
+	c1 := m.candidatesFor(src)
+	// 11 -> 10: both sides spectrally out of reach of channel 1's
+	// window [1,5]; src's cache survives.
+	x.SetChannel(10)
+	if !sameBacking(c1, m.candidatesFor(src)) {
+		t.Fatal("retune outside the overlap window wiped src's cache")
+	}
+	// 10 -> 5 enters the window: src's cache rebuilds and now lists x.
+	x.SetChannel(5)
+	c2 := m.candidatesFor(src)
+	if sameBacking(c1, c2) {
+		t.Fatal("retune into the overlap window did not invalidate src's cache")
+	}
+	found := false
+	for _, r := range c2 {
+		if r == x {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rebuilt candidate set missing the retuned radio")
+	}
+}
+
+// TestMobileInvalidationModesAgree drives an identical mobile workload —
+// moves within and across cells, retunes, a mid-run attach and detach,
+// overlapping transmissions — under cell-granular and global-wipe
+// invalidation and requires bit-identical receipt streams.
+func TestMobileInvalidationModesAgree(t *testing.T) {
+	run := func(opts ...MediumOption) []string {
+		k := sim.New(3)
+		e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 400, 400)))
+		m := NewMedium(k, e, opts...)
+		var log []string
+		var radios []*Radio
+		rng := k.Rand()
+		for i := 0; i < 24; i++ {
+			id := i
+			r := m.NewRadio(fmt.Sprintf("r%d", i),
+				geo.Pt(rng.Float64()*400, rng.Float64()*400), 1+i%11, 15)
+			r.OnReceive = func(rc Receipt) {
+				log = append(log, fmt.Sprintf("%d rx%d tx%d ok=%v rssi=%x sinr=%x",
+					k.Now(), id, rc.Tx.Seq, rc.OK,
+					math.Float64bits(rc.RSSIdBm), math.Float64bits(rc.SINRdB)))
+			}
+			radios = append(radios, r)
+		}
+		// Movers: every radio steps every 200 us; some steps cross cells.
+		for i, r := range radios {
+			r := r
+			dx, dy := 1.0+float64(i%7), 1.0-float64(i%5)
+			stop := k.Ticker(200*sim.Microsecond, "move", func() {
+				r.SetPos(geo.Pt(
+					math.Mod(r.Pos.X+dx+400, 400),
+					math.Mod(r.Pos.Y+dy+400, 400)))
+			})
+			defer stop()
+		}
+		// Retunes hop a few radios across the band.
+		k.Ticker(700*sim.Microsecond, "retune", func() {
+			r := radios[int(k.Now()/sim.Microsecond)%len(radios)]
+			r.SetChannel(1 + (r.Channel+3)%11)
+		})
+		// Overlapping traffic.
+		for i := range radios {
+			src := radios[i]
+			k.Schedule(sim.Time(i)*150*sim.Microsecond, "tx", func() {
+				if _, err := m.Transmit(src, 2000, Rates[0], nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		// Mid-run topology churn.
+		k.Schedule(2*sim.Millisecond, "attach", func() {
+			r := m.NewRadio("late", geo.Pt(200, 200), 6, 15)
+			r.OnReceive = func(rc Receipt) {
+				log = append(log, fmt.Sprintf("%d late tx%d ok=%v", k.Now(), rc.Tx.Seq, rc.OK))
+			}
+			if _, err := m.Transmit(r, 2000, Rates[0], nil); err != nil {
+				t.Error(err)
+			}
+		})
+		k.Schedule(3*sim.Millisecond, "detach", func() { m.Detach(radios[5]) })
+		k.RunUntil(8 * sim.Millisecond)
+		return log
+	}
+	granular := run(WithRxCutoffDBm(-95), WithGridCellM(25))
+	global := run(WithRxCutoffDBm(-95), WithGridCellM(25), WithGlobalInvalidation())
+	if len(granular) != len(global) {
+		t.Fatalf("receipt counts differ: granular %d vs global %d", len(granular), len(global))
+	}
+	for i := range granular {
+		if granular[i] != global[i] {
+			t.Fatalf("receipt %d differs:\ngranular: %s\nglobal:   %s", i, granular[i], global[i])
+		}
+	}
+	if len(granular) == 0 {
+		t.Fatal("workload produced no receipts")
+	}
+}
+
+func TestDetachInFlightLeaksNoCoverRegistrations(t *testing.T) {
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 200, 200)))
+	m := NewMedium(k, e, WithRxCutoffDBm(-95))
+	a := m.NewRadio("a", geo.Pt(10, 10), 6, 15)
+	b := m.NewRadio("b", geo.Pt(20, 10), 6, 15)
+	b.OnReceive = func(Receipt) {}
+	m.candidatesFor(a)
+	m.candidatesFor(b)
+	baseline := m.grid.Watchers()
+	// Detach a while its frame is still in the air: the finish-time
+	// rebuild must not leave a registered cover behind.
+	if _, err := m.Transmit(a, 2000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Detach(a)
+	k.Run()
+	if got := m.grid.Watchers(); got >= baseline {
+		t.Fatalf("watcher registrations after detach-in-flight = %d, want < baseline %d (a's cover released)", got, baseline)
+	}
+	// Repeat churn must not grow the registration count.
+	stable := m.grid.Watchers()
+	for i := 0; i < 5; i++ {
+		r := m.NewRadio(fmt.Sprintf("churn%d", i), geo.Pt(15, 15), 6, 15)
+		if _, err := m.Transmit(r, 2000, Rates[0], nil); err != nil {
+			t.Fatal(err)
+		}
+		m.Detach(r)
+		k.Run()
+		if got := m.grid.Watchers(); got != stable {
+			t.Fatalf("churn round %d: watchers = %d, want %d", i, got, stable)
+		}
+	}
+}
+
+func TestMidDeliveryMoveDoesNotChangeMembership(t *testing.T) {
+	// An OnReceive callback that synchronously moves a third radio
+	// across the hearing-range boundary must not change who receives
+	// this delivery round — in either invalidation mode. The range
+	// decision is frozen when delivery starts.
+	run := func(opts ...MediumOption) (cGot int) {
+		k := sim.New(1)
+		e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 200, 200)))
+		m := NewMedium(k, e, opts...)
+		// 15 dBm at -60 dBm cutoff: range ~14.7 m.
+		a := m.NewRadio("a", geo.Pt(5, 5), 6, 15)
+		b := m.NewRadio("b", geo.Pt(10, 5), 6, 15)  // in range, lower ID than c
+		c := m.NewRadio("c", geo.Pt(25, 5), 6, 15)  // in a's cover box, out of range
+		b.OnReceive = func(Receipt) { c.SetPos(geo.Pt(12, 5)) } // yank c into range
+		c.OnReceive = func(Receipt) { cGot++ }
+		if _, err := m.Transmit(a, 2000, Rates[0], nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return cGot
+	}
+	granular := run(WithRxCutoffDBm(-60), WithGridCellM(10))
+	global := run(WithRxCutoffDBm(-60), WithGridCellM(10), WithGlobalInvalidation())
+	if granular != global {
+		t.Fatalf("mid-delivery move changed membership between modes: granular=%d global=%d", granular, global)
+	}
+	if granular != 0 {
+		t.Fatalf("radio out of range at delivery start received %d receipts", granular)
 	}
 }

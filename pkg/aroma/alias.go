@@ -33,6 +33,15 @@ type Point = geo.Point
 // Pt returns the point (x, y).
 func Pt(x, y float64) Point { return geo.Pt(x, y) }
 
+// Rect is an axis-aligned rectangle (rooms, arenas, wander bounds).
+type Rect = geo.Rect
+
+// RectAt builds a Rect from its lower-left corner, width and height.
+func RectAt(x, y, w, h float64) Rect { return geo.RectAt(x, y, w, h) }
+
+// Path is a waypoint mobility path traversed at constant speed.
+type Path = geo.Path
+
 // Spec describes an appliance's resources (the LPC resource layer).
 type Spec = device.Spec
 

@@ -58,4 +58,28 @@
 // floating-point library behaviour across architectures, and wall-clock
 // properties (a run's real duration). Concurrency is not part of the
 // model: a World and its kernel are single-threaded by design.
+//
+// # Mobile worlds
+//
+// Devices move through movers attached at construction time —
+// WithRandomWaypoint(speed) for continuous random-waypoint wandering
+// inside the floor-plan bounds, WithPath(path) to walk a geo.Path once,
+// WithMobilityTick to change the 200 ms sampling interval — or started
+// later from scenario code via Device.Wander and Device.MoveAlong.
+// Every sampled position flows through Device.SetPos, which drives
+// Radio.SetPos, so the model entity, the medium's spatial index, and
+// the candidate caches stay consistent; mover randomness comes from the
+// world's seeded kernel, so mobile runs remain bit-reproducible.
+//
+// The invalidation model makes mobility cheap at density. Each radio's
+// candidate cache covers the grid cells its hearing-range circle
+// touches; a move that stays inside one cell invalidates nothing, and a
+// cell-boundary crossing invalidates only the caches covering the
+// source or destination cell (delivery applies the exact range check at
+// use time, so results are identical to rebuilding on every move — the
+// determinism suite cross-checks the modes digest-for-digest). Channel
+// retunes invalidate only caches whose 5-channel spectral overlap
+// window touches the old or new channel. WithGlobalRadioInvalidation
+// restores the coarse wipe-the-world behaviour as a benchmark and
+// cross-check reference.
 package aroma

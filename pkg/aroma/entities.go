@@ -6,6 +6,7 @@ import (
 	"aroma/internal/discovery"
 	"aroma/internal/geo"
 	"aroma/internal/mac"
+	"aroma/internal/mobility"
 	"aroma/internal/netsim"
 	"aroma/internal/radio"
 	"aroma/internal/sim"
@@ -13,14 +14,17 @@ import (
 )
 
 // Device is one appliance in the world: its LPC model entity plus (for
-// online devices) the auto-wired radio, MAC station, and network node.
+// online devices) the auto-wired radio, MAC station, and network node,
+// and (for mobile devices) its mover or wanderer.
 type Device struct {
-	world   *World
-	entity  *core.DeviceEntity
-	radio   *radio.Radio
-	station *mac.Station
-	node    *netsim.Node
-	agent   *discovery.Agent
+	world    *World
+	entity   *core.DeviceEntity
+	radio    *radio.Radio
+	station  *mac.Station
+	node     *netsim.Node
+	agent    *discovery.Agent
+	mover    *mobility.Mover
+	wanderer *mobility.Wanderer
 }
 
 // DeviceOption configures a device added with AddDevice or AddLookup.
@@ -34,6 +38,10 @@ type deviceOptions struct {
 	channel        int
 	txPowerDBm     float64
 	offline        bool
+	path           *geo.Path
+	wander         bool
+	wanderSpeed    float64
+	moveTick       sim.Time
 }
 
 // WithSpec sets the device's resource-layer spec.
@@ -102,6 +110,7 @@ func (w *World) AddDevice(name string, pos geo.Point, opts ...DeviceOption) *Dev
 	}
 	w.devices = append(w.devices, d)
 	w.byName[name] = d
+	d.startMobility(&o)
 	return d
 }
 

@@ -110,6 +110,18 @@ func WithFullScanMedium() Option {
 	}
 }
 
+// WithGlobalRadioInvalidation makes every radio move and retune wipe all
+// candidate caches through one medium-wide generation, instead of the
+// default cell- and channel-granular invalidation. Physics and digests
+// are identical; only cache-rebuild frequency differs, so this exists as
+// the reference arm for mobile-world benchmarks and invalidation
+// cross-checks, not as a mode to run production worlds in.
+func WithGlobalRadioInvalidation() Option {
+	return func(o *worldOptions) {
+		o.mediumOpts = append(o.mediumOpts, radio.WithGlobalInvalidation())
+	}
+}
+
 // WithTraceMin discards trace events below the given severity.
 func WithTraceMin(min trace.Severity) Option {
 	return func(o *worldOptions) { o.traceMin = min }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"aroma/pkg/aroma"
 	"aroma/pkg/aroma/scenario"
 )
 
@@ -45,5 +46,78 @@ func TestEveryScenarioIsSeedReproducible(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMobileDenseInvalidationModesDigestMatch runs the mobile-dense
+// workload (movers active, cutoff+grid enabled) under the default
+// cell-granular invalidation and the global-wipe reference
+// (WithGlobalRadioInvalidation) and requires bit-identical World
+// digests: invalidation granularity must be a pure performance change.
+// If the conservative cell-cover candidate supersets or the use-time
+// range checks ever diverge from a rebuild-per-move, this fails.
+func TestMobileDenseInvalidationModesDigestMatch(t *testing.T) {
+	for _, seed := range []int64{7, 42} {
+		cfg := scenario.Config{Seed: seed}
+		granular, err := mobileDense(cfg)
+		if err != nil {
+			t.Fatalf("seed %d cell-granular: %v", seed, err)
+		}
+		global, err := mobileDense(cfg, aroma.WithGlobalRadioInvalidation())
+		if err != nil {
+			t.Fatalf("seed %d global-wipe: %v", seed, err)
+		}
+		if granular.Digest != global.Digest {
+			t.Errorf("seed %d: cell-granular digest %s != global-wipe digest %s",
+				seed, granular.Digest, global.Digest)
+		}
+		if granular.Steps != global.Steps {
+			t.Errorf("seed %d: step counts diverge: granular=%d global=%d",
+				seed, granular.Steps, global.Steps)
+		}
+	}
+}
+
+// TestMobileDenseIndexedMatchesFullScan cross-checks the whole indexed
+// medium — grid covers, cell-granular revalidation, channel-window
+// filtering, use-time range checks, receipt ordering — against the
+// naive full-scan medium on the mobile-dense workload, requiring
+// bit-identical digests.
+//
+// The cutoff here is lowered until the conservative hearing range
+// covers the whole arena, so the index prunes nothing and equality is
+// exact by construction. With a pruning cutoff, exact equality is
+// unattainable in principle: WithRxCutoffDBm documents a bounded
+// per-contribution error, and a skipped just-out-of-range interferer
+// shifts SINR by up to 3 dB while SNR-adaptive rate selection leaves
+// decode margins inside [0, 3) dB — the pruning configuration is
+// instead cross-checked against the global-wipe reference above, which
+// shares its physics exactly.
+func TestMobileDenseIndexedMatchesFullScan(t *testing.T) {
+	// 0 dBm transmitters at a -130 dBm cutoff hear out to 1 km —
+	// beyond the 707 m arena diagonal. The coarser grid cell keeps the
+	// arena-wide cell covers small.
+	exactIndex := []aroma.Option{
+		aroma.WithRadioCutoff(-130),
+		aroma.WithRadioGridCell(250),
+	}
+	for _, seed := range []int64{7, 42} {
+		cfg := scenario.Config{Seed: seed}
+		indexed, err := mobileDense(cfg, exactIndex...)
+		if err != nil {
+			t.Fatalf("seed %d indexed: %v", seed, err)
+		}
+		full, err := mobileDense(cfg, aroma.WithFullScanMedium())
+		if err != nil {
+			t.Fatalf("seed %d full-scan: %v", seed, err)
+		}
+		if indexed.Digest != full.Digest {
+			t.Errorf("seed %d: indexed digest %s != full-scan digest %s",
+				seed, indexed.Digest, full.Digest)
+		}
+		if indexed.Steps != full.Steps {
+			t.Errorf("seed %d: step counts diverge: indexed=%d full=%d",
+				seed, indexed.Steps, full.Steps)
+		}
 	}
 }
