@@ -51,3 +51,7 @@ func BenchmarkC7MobileCode(b *testing.B)         { benchExperiment(b, "C7") }
 func BenchmarkC8Ranging(b *testing.B)            { benchExperiment(b, "C8") }
 func BenchmarkC9Roaming(b *testing.B)            { benchExperiment(b, "C9") }
 func BenchmarkC10DiscoveryBaseline(b *testing.B) { benchExperiment(b, "C10") }
+
+// Sweep campaigns.
+
+func BenchmarkS1ConcentrationCampaign(b *testing.B) { benchExperiment(b, "S1") }

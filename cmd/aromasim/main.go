@@ -16,14 +16,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"aroma/internal/sim"
 	"aroma/pkg/aroma/scenario"
 	_ "aroma/pkg/aroma/scenarios" // populate the registry
+	"aroma/pkg/aroma/sweep"
 )
 
 func main() {
@@ -60,41 +61,55 @@ func main() {
 	}
 }
 
-// runAll batch-runs every registered scenario (narration suppressed
-// unless -verbose) and prints one comparison row per scenario.
+// runAll batch-runs every registered scenario concurrently through the
+// sweep engine — one grid cell per scenario, each run in an isolated
+// world with captured output — and prints one comparison row per
+// scenario in registry order. With -verbose each scenario's captured
+// narration prints as it completes (never interleaved).
 func runAll(cfg scenario.Config) {
-	type row struct {
-		res *scenario.Result
-		err error
+	design := sweep.Design{
+		Scenario: "batch",
+		Func: func(c scenario.Config) (*scenario.Result, error) {
+			return scenario.Run(c.ParamOr("scenario", ""), c)
+		},
+		Axes: []sweep.Axis{sweep.Strings("scenario", scenario.Names()...)},
+		// Seed 0 keeps each scenario's classic seed, exactly like a
+		// plain sequential -all did before the engine.
+		Seeds:   []int64{cfg.Seed},
+		Horizon: cfg.Horizon,
+		Verbose: cfg.Verbose,
 	}
-	rows := make(map[string]row)
-	for _, s := range scenario.All() {
-		c := cfg
-		if !cfg.Verbose {
-			c.Out = io.Discard
-		} else {
-			fmt.Printf("=== %s ===\n", s.Name)
-		}
-		res, err := scenario.Run(s.Name, c)
-		rows[s.Name] = row{res: res, err: err}
+	var opts []sweep.Option
+	if cfg.Verbose {
+		opts = append(opts, sweep.WithProgress(func(row sweep.Row) {
+			fmt.Printf("=== %s ===\n%s", row.Params["scenario"], row.Output)
+		}))
+	}
+	s, err := sweep.New(design, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("%-16s %10s %10s %9s %7s %11s\n",
 		"scenario", "sim-time", "events", "findings", "issues", "violations")
-	failed := 0
-	for _, s := range scenario.All() {
-		r := rows[s.Name]
-		if r.err != nil {
-			failed++
-			fmt.Printf("%-16s ERROR: %v\n", s.Name, r.err)
+	for _, row := range rep.Rows {
+		name := row.Params["scenario"]
+		if row.Err != "" {
+			fmt.Printf("%-16s ERROR: %s\n", name, row.Err)
 			continue
 		}
 		fmt.Printf("%-16s %10s %10d %9d %7d %11d\n",
-			s.Name, r.res.SimTime, r.res.Steps,
-			r.res.Findings(), r.res.Issues(), r.res.Violations())
+			name, row.SimTime, row.Steps,
+			row.Findings, row.Issues, row.Violations)
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d scenario(s) failed\n", failed)
+	if n := rep.FailedCount(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%d scenario(s) failed\n", n)
 		os.Exit(1)
 	}
 }

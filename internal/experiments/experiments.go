@@ -85,6 +85,7 @@ func All() []Experiment {
 		{"C8", "RSSI ranging degradation through walls", C8},
 		{"C9", "Roaming: projection vs presenter mobility", C9},
 		{"C10", "Discovery baselines: centralized lookup vs peer announcement", C10},
+		{"S1", "Device concentration campaign (MRIP sweep engine)", S1},
 	}
 }
 

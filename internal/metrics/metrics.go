@@ -60,6 +60,35 @@ func (s *Summary) Var() float64 {
 // Stddev returns the sample standard deviation.
 func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
 
+// Merge folds another summary into s using the Chan et al. parallel
+// variant of Welford's update, so partial summaries combined in any
+// grouping agree (to float tolerance) with one summary observing every
+// value. Use it to combine statistics whose raw streams are gone —
+// per-shard partials, or the cell aggregates of two sweep reports.
+// (The sweep engine itself aggregates by observing rows in fixed task
+// order, which keeps cell statistics bit-identical across worker
+// counts; Merge's float error depends on grouping.)
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // Sum returns mean*n, the total of all observations.
 func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
 

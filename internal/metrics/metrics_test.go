@@ -260,3 +260,120 @@ func TestPropertyHistogramConserves(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"both empty", nil, nil},
+		{"empty into full", nil, []float64{1, 2, 3}},
+		{"full into empty", []float64{1, 2, 3}, nil},
+		{"singletons", []float64{4}, []float64{8}},
+		{"single into many", []float64{2, 4, 4, 4, 5, 5, 7}, []float64{9}},
+		{"equal values", []float64{3, 3, 3}, []float64{3, 3}},
+		{"negatives and spread", []float64{-5, 0, 12.5}, []float64{7, -2.25, 3, 3}},
+		{"unbalanced sizes", []float64{1}, []float64{10, 20, 30, 40, 50, 60, 70}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var merged, left, right, direct Summary
+			for _, x := range tc.a {
+				left.Observe(x)
+				direct.Observe(x)
+			}
+			for _, x := range tc.b {
+				right.Observe(x)
+				direct.Observe(x)
+			}
+			merged = left
+			merged.Merge(right)
+			if merged.N() != direct.N() {
+				t.Fatalf("N = %d, want %d", merged.N(), direct.N())
+			}
+			close := func(got, want float64, what string) {
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Errorf("%s = %v, want %v", what, got, want)
+				}
+			}
+			close(merged.Mean(), direct.Mean(), "Mean")
+			close(merged.Var(), direct.Var(), "Var")
+			close(merged.CI95(), direct.CI95(), "CI95")
+			if merged.N() > 0 {
+				close(merged.Min(), direct.Min(), "Min")
+				close(merged.Max(), direct.Max(), "Max")
+			}
+		})
+	}
+}
+
+func TestSummaryMergeAssociativeProperty(t *testing.T) {
+	// Any grouping of per-worker partials must agree with the direct
+	// single-stream summary: split a random stream at two points, merge
+	// the three parts pairwise in both association orders.
+	f := func(xs []float64, i, j uint8) bool {
+		for k := range xs {
+			if math.IsNaN(xs[k]) || math.IsInf(xs[k], 0) {
+				xs[k] = float64(k)
+			}
+			// Keep magnitudes physical; at 1e308 the m2 cross term
+			// overflows and the comparison is about float limits, not
+			// the merge algebra.
+			xs[k] = math.Remainder(xs[k], 1e9)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := int(i) % (len(xs) + 1)
+		p2 := p1 + int(j)%(len(xs)-p1+1)
+		var direct Summary
+		parts := [3]Summary{}
+		bounds := [4]int{0, p1, p2, len(xs)}
+		for p := 0; p < 3; p++ {
+			for _, x := range xs[bounds[p]:bounds[p+1]] {
+				parts[p].Observe(x)
+			}
+		}
+		for _, x := range xs {
+			direct.Observe(x)
+		}
+		leftAssoc := parts[0]
+		leftAssoc.Merge(parts[1])
+		leftAssoc.Merge(parts[2])
+		rightAssoc := parts[1]
+		rightAssoc.Merge(parts[2])
+		head := parts[0]
+		head.Merge(rightAssoc)
+		ok := func(a, b Summary) bool {
+			tol := 1e-6 * (1 + math.Abs(b.Var()))
+			return a.N() == b.N() &&
+				math.Abs(a.Mean()-b.Mean()) <= 1e-9*(1+math.Abs(b.Mean())) &&
+				math.Abs(a.Var()-b.Var()) <= tol &&
+				a.Min() == b.Min() && a.Max() == b.Max()
+		}
+		return ok(leftAssoc, direct) && ok(head, direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95Edges(t *testing.T) {
+	var s Summary
+	if s.CI95() != 0 {
+		t.Error("empty summary CI95 must be 0")
+	}
+	s.Observe(5)
+	if s.CI95() != 0 {
+		t.Error("n=1 CI95 must be 0 (no variance estimate)")
+	}
+	s.Observe(5)
+	s.Observe(5)
+	if s.CI95() != 0 {
+		t.Error("equal observations CI95 must be 0")
+	}
+	s.Observe(6)
+	if s.CI95() <= 0 {
+		t.Error("spread observations must widen CI95 above 0")
+	}
+}

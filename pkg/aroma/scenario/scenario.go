@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"aroma/internal/core"
 	"aroma/internal/sim"
@@ -21,6 +22,13 @@ import (
 )
 
 // Config parametrizes one scenario run.
+//
+// Capture safety: a Config never touches process-global state — all
+// narrative output flows through Out, and Run defaults a nil Out to
+// io.Discard explicitly, never to os.Stdout. Two runs driven
+// concurrently with distinct writers (the sweep engine gives every run
+// a private buffer) therefore cannot interleave a single byte of each
+// other's output.
 type Config struct {
 	// Seed for the deterministic kernel; 0 means the scenario's classic
 	// seed (the one its original example shipped with).
@@ -31,8 +39,72 @@ type Config struct {
 	// Verbose asks the scenario for its full trace / extra detail.
 	Verbose bool
 	// Out receives the scenario's narrative output; nil discards it
-	// (headless runs).
+	// (headless runs). Each concurrent run must have its own writer.
 	Out io.Writer
+	// Params carries named scenario parameters — one grid cell of a
+	// sweep, or -set flags from the CLI. Scenarios read them through the
+	// typed accessors (ParamIntOr, ...) and fall back to their classic
+	// constants when a name is absent. The map is shared read-only
+	// across the replications of a cell; scenarios must not mutate it.
+	Params map[string]string
+}
+
+// Param returns the raw value of a named parameter and whether it is set.
+func (c Config) Param(name string) (string, bool) {
+	v, ok := c.Params[name]
+	return v, ok
+}
+
+// ParamOr returns the named parameter, or def when unset.
+func (c Config) ParamOr(name, def string) string {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// ParamIntOr returns the named parameter as an int, or def when unset.
+// A set-but-malformed value panics: a typo in a sweep axis must surface
+// as that run's error (Run recovers panics), not silently run the
+// default workload and poison the aggregate.
+func (c Config) ParamIntOr(name string, def int) int {
+	v, ok := c.Params[name]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: param %s=%q is not an int", name, v))
+	}
+	return n
+}
+
+// ParamFloatOr returns the named parameter as a float64, or def when
+// unset. A set-but-malformed value panics, as with ParamIntOr.
+func (c Config) ParamFloatOr(name string, def float64) float64 {
+	v, ok := c.Params[name]
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: param %s=%q is not a float", name, v))
+	}
+	return f
+}
+
+// ParamBoolOr returns the named parameter as a bool, or def when unset.
+// A set-but-malformed value panics, as with ParamIntOr.
+func (c Config) ParamBoolOr(name string, def bool) bool {
+	v, ok := c.Params[name]
+	if !ok {
+		return def
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: param %s=%q is not a bool", name, v))
+	}
+	return b
 }
 
 // Printf writes formatted narrative output; a nil Out discards it.
@@ -79,6 +151,20 @@ type Result struct {
 	Digest string
 	// Report is the scenario's LPC analysis, when it performs one.
 	Report *core.Report
+	// Metrics is the headless snapshot of the run: named numeric
+	// observables (frames delivered, probes heard, ...) recorded with
+	// Metric. The sweep engine aggregates these across replications, so
+	// anything a scenario narrates as a number worth comparing should
+	// also land here.
+	Metrics map[string]float64
+}
+
+// Metric records one named observable on the result.
+func (r *Result) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // Findings returns the number of report findings (0 without a report).
@@ -158,15 +244,24 @@ func All() []Scenario {
 	return out
 }
 
-// Run executes the named scenario. A nil cfg.Out runs it headlessly.
-// A panic inside the scenario (the examples' must-style assertions) is
-// recovered and returned as an error, so batch runs survive one bad
-// scenario.
-func Run(name string, cfg Config) (res *Result, err error) {
+// Run executes the named scenario under the Exec contract.
+func Run(name string, cfg Config) (*Result, error) {
 	s, ok := Get(name)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, Names())
 	}
+	return Exec(name, s.Run, cfg)
+}
+
+// Exec runs fn under the registry's run contract, which also covers
+// unregistered scenario funcs (the sweep engine's Design.Func): a nil
+// cfg.Out is defaulted to io.Discard — never to os.Stdout — so a
+// headless run writes nowhere and concurrent runs with distinct writers
+// never share a stream; a panic inside the scenario (the examples'
+// must-style assertions) is recovered and returned as an error, so
+// batch runs survive one bad scenario; errors are wrapped with the
+// scenario name; and a nil or unnamed result is filled in.
+func Exec(name string, fn Func, cfg Config) (res *Result, err error) {
 	if cfg.Out == nil {
 		cfg.Out = io.Discard
 	}
@@ -175,7 +270,7 @@ func Run(name string, cfg Config) (res *Result, err error) {
 			res, err = nil, fmt.Errorf("scenario %s: panic: %v", name, r)
 		}
 	}()
-	res, err = s.Run(cfg)
+	res, err = fn(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}

@@ -127,3 +127,104 @@ func TestResultHelpersNilSafe(t *testing.T) {
 		t.Error("report-less result helpers must return 0")
 	}
 }
+
+func TestParamAccessors(t *testing.T) {
+	c := Config{Params: map[string]string{
+		"radios": "200", "speed": "1.5", "probe": "true", "label": "dense",
+	}}
+	if v, ok := c.Param("radios"); !ok || v != "200" {
+		t.Errorf("Param(radios) = %q, %v", v, ok)
+	}
+	if _, ok := c.Param("missing"); ok {
+		t.Error("Param(missing) reported set")
+	}
+	if c.ParamIntOr("radios", 1) != 200 || c.ParamIntOr("missing", 7) != 7 {
+		t.Error("ParamIntOr wrong")
+	}
+	if c.ParamFloatOr("speed", 0) != 1.5 || c.ParamFloatOr("missing", 2.5) != 2.5 {
+		t.Error("ParamFloatOr wrong")
+	}
+	if !c.ParamBoolOr("probe", false) || c.ParamBoolOr("missing", true) != true {
+		t.Error("ParamBoolOr wrong")
+	}
+	if c.ParamOr("label", "x") != "dense" || c.ParamOr("missing", "x") != "x" {
+		t.Error("ParamOr wrong")
+	}
+	// Zero config: every accessor defers to the default.
+	var zero Config
+	if zero.ParamIntOr("radios", 3) != 3 {
+		t.Error("nil Params must defer to defaults")
+	}
+}
+
+func TestMalformedParamSurfacesAsRunError(t *testing.T) {
+	Register("test-badparam", "", func(cfg Config) (*Result, error) {
+		cfg.ParamIntOr("radios", 10)
+		return nil, nil
+	})
+	_, err := Run("test-badparam", Config{Params: map[string]string{"radios": "many"}})
+	if err == nil || !strings.Contains(err.Error(), "not an int") {
+		t.Errorf("malformed param not surfaced: %v", err)
+	}
+}
+
+func TestResultMetric(t *testing.T) {
+	var r Result
+	r.Metric("delivered", 42)
+	r.Metric("delivered", 43) // last write wins
+	r.Metric("lost", 1)
+	if r.Metrics["delivered"] != 43 || r.Metrics["lost"] != 1 {
+		t.Errorf("Metrics = %v", r.Metrics)
+	}
+}
+
+// TestConcurrentRunsDoNotInterleave is the capture-safety regression
+// test: two scenario runs driven from two goroutines, each with its own
+// writer, must each produce exactly the byte stream a solo run
+// produces — no interleaving, no cross-contamination, nothing written
+// to any shared stream.
+func TestConcurrentRunsDoNotInterleave(t *testing.T) {
+	chatty := func(tag string) Func {
+		return func(cfg Config) (*Result, error) {
+			for i := 0; i < 500; i++ {
+				cfg.Printf("%s line %d\n", tag, i)
+			}
+			return nil, nil
+		}
+	}
+	Register("test-chatty-a", "", chatty("alpha"))
+	Register("test-chatty-b", "", chatty("beta"))
+
+	solo := func(name string) string {
+		var b strings.Builder
+		if _, err := Run(name, Config{Out: &b}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	wantA, wantB := solo("test-chatty-a"), solo("test-chatty-b")
+
+	for round := 0; round < 20; round++ {
+		var bufA, bufB strings.Builder
+		done := make(chan error, 2)
+		go func() {
+			_, err := Run("test-chatty-a", Config{Out: &bufA})
+			done <- err
+		}()
+		go func() {
+			_, err := Run("test-chatty-b", Config{Out: &bufB})
+			done <- err
+		}()
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bufA.String() != wantA {
+			t.Fatalf("round %d: scenario A output diverged from its solo run", round)
+		}
+		if bufB.String() != wantB {
+			t.Fatalf("round %d: scenario B output diverged from its solo run", round)
+		}
+	}
+}

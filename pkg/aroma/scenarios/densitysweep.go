@@ -30,11 +30,14 @@ func init() {
 }
 
 func runDensitySweep(cfg scenario.Config) (*scenario.Result, error) {
+	// Sweepable axes (classic values when unset): radios, side (m),
+	// beacon (ms).
+	var (
+		devices  = cfg.ParamIntOr("radios", 300)
+		sideM    = cfg.ParamFloatOr("side", 600.0)
+		beaconMS = cfg.ParamIntOr("beacon", 400)
+	)
 	const (
-		devices  = 300
-		sideM    = 600.0
-		beaconMS = 400
-
 		groupBeacons netsim.Group = 7
 		portBeacon   netsim.Port  = 1040
 		portProbe    netsim.Port  = 1041
@@ -83,7 +86,7 @@ func runDensitySweep(cfg scenario.Config) (*scenario.Result, error) {
 		w.Schedule(phase, "density.beaconStart", func() {
 			send := func() { nd.SendMulticast(groupBeacons, portBeacon, payload) }
 			send()
-			w.Ticker(beaconMS*aroma.Millisecond, "density.beacon", send)
+			w.Ticker(aroma.Time(beaconMS)*aroma.Millisecond, "density.beacon", send)
 		})
 	}
 
@@ -104,7 +107,12 @@ func runDensitySweep(cfg scenario.Config) (*scenario.Result, error) {
 		cfg.Printf("receipt loss rate: %.1f%% (congestion collapse is the paper's C2 shape)\n", lossPct)
 	}
 
-	return &scenario.Result{
+	res := &scenario.Result{
 		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(),
-	}, nil
+	}
+	res.Metric("sent", float64(med.Sent))
+	res.Metric("delivered", float64(med.Delivered))
+	res.Metric("lost", float64(med.Lost))
+	res.Metric("probes", float64(probesHeard))
+	return res, nil
 }

@@ -36,12 +36,15 @@ func init() {
 // the identical workload over alternative medium configurations
 // (WithGlobalRadioInvalidation, WithFullScanMedium).
 func mobileDense(cfg scenario.Config, extra ...aroma.Option) (*scenario.Result, error) {
+	// Sweepable axes (classic values when unset): radios, side (m),
+	// speed (m/s), beacon (ms).
+	var (
+		devices  = cfg.ParamIntOr("radios", 200)
+		sideM    = cfg.ParamFloatOr("side", 500.0)
+		speedMPS = cfg.ParamFloatOr("speed", 1.4) // brisk walking pace
+		beaconMS = cfg.ParamIntOr("beacon", 500)
+	)
 	const (
-		devices  = 200
-		sideM    = 500.0
-		speedMPS = 1.4 // brisk walking pace
-		beaconMS = 500
-
 		groupRovers netsim.Group = 9
 		portBeacon  netsim.Port  = 1050
 		portProbe   netsim.Port  = 1051
@@ -95,7 +98,7 @@ func mobileDense(cfg scenario.Config, extra ...aroma.Option) (*scenario.Result, 
 		w.Schedule(phase, "mobile.beaconStart", func() {
 			send := func() { nd.SendMulticast(groupRovers, portBeacon, payload) }
 			send()
-			w.Ticker(beaconMS*aroma.Millisecond, "mobile.beacon", send)
+			w.Ticker(aroma.Time(beaconMS)*aroma.Millisecond, "mobile.beacon", send)
 		})
 	}
 
@@ -122,7 +125,13 @@ func mobileDense(cfg scenario.Config, extra ...aroma.Option) (*scenario.Result, 
 		cfg.Printf("receipt loss rate: %.1f%% while everything moves\n", lossPct)
 	}
 
-	return &scenario.Result{
+	res := &scenario.Result{
 		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(),
-	}, nil
+	}
+	res.Metric("sent", float64(med.Sent))
+	res.Metric("delivered", float64(med.Delivered))
+	res.Metric("lost", float64(med.Lost))
+	res.Metric("probes", float64(probesHeard))
+	res.Metric("legs", float64(legs))
+	return res, nil
 }

@@ -1,0 +1,45 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"aroma/internal/sim"
+	_ "aroma/pkg/aroma/scenarios"
+)
+
+// BenchmarkSweepSpeedup runs a fixed mobiledense grid (3 cells × 4
+// replications) at workers=1 and workers=NumCPU. The ns/op ratio
+// between the two sub-benchmarks is the MRIP speedup: on an N-core
+// machine the pool should approach min(N, 12)x, and CI records it in
+// the job log. The workload is CPU-bound radio simulation, so on a
+// single-core box the two are expected to tie.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	design := Design{
+		Scenario: "mobiledense",
+		Axes:     []Axis{Ints("radios", 40, 60, 80), Ints("beacon", 100)},
+		Reps:     4,
+		BaseSeed: 1,
+		Horizon:  300 * sim.Millisecond,
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := New(design, WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := s.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.FailedCount() != 0 || len(rep.Rows) != s.Tasks() {
+					b.Fatalf("sweep incomplete: %d/%d rows, %d failed",
+						len(rep.Rows), s.Tasks(), rep.FailedCount())
+				}
+			}
+		})
+	}
+}
