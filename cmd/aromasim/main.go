@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"aroma/internal/profiling"
 	"aroma/internal/sim"
 	"aroma/pkg/aroma/scenario"
 	_ "aroma/pkg/aroma/scenarios" // populate the registry
@@ -34,7 +35,16 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print the full trace / extra detail")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	all := flag.Bool("all", false, "run every registered scenario and print a comparison table")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aromasim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, s := range scenario.All() {

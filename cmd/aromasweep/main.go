@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"aroma/internal/profiling"
 	"aroma/internal/sim"
 	"aroma/pkg/aroma/scenario"
 	_ "aroma/pkg/aroma/scenarios" // populate the registry
@@ -57,8 +58,17 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print every run's captured output as it completes")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole campaign to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
 	flag.Var(&axes, "set", "parameter axis as name=v1,v2,... (repeatable; cross-product spans the grid)")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aromasweep:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, s := range scenario.All() {

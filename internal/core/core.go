@@ -512,7 +512,7 @@ func foldTrace(s *System, r *Report) {
 	for _, ev := range s.Log.BySeverity(trace.Issue) {
 		r.Findings = append(r.Findings, Finding{
 			Layer: ev.Layer, Severity: ev.Severity, Relation: RelationFor(ev.Layer),
-			Subject: ev.Entity, Detail: ev.Message + fmt.Sprintf(" (observed at %v)", ev.At),
+			Subject: ev.Entity, Detail: ev.Message() + fmt.Sprintf(" (observed at %v)", ev.At),
 		})
 	}
 }

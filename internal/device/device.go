@@ -302,7 +302,7 @@ type Task struct {
 	Submitted  sim.Time
 	Finished   sim.Time
 	onDone     func(*Task)
-	doneEvent  *sim.Event
+	doneEvent  sim.Event
 }
 
 // Latency returns queue+execution time for a finished or aborted task.
@@ -376,9 +376,7 @@ func (d *Device) Abort(id int) error {
 			}
 		}
 	}
-	if t.doneEvent != nil {
-		d.kernel.Cancel(t.doneEvent)
-	}
+	d.kernel.Cancel(t.doneEvent) // no-op for the zero Event
 	d.TasksAborted++
 	d.finish(t, TaskAborted)
 	return nil

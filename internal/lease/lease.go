@@ -23,7 +23,7 @@ type Lease struct {
 	expires  sim.Time
 	duration sim.Time
 	onExpire func()
-	event    *sim.Event
+	event    sim.Event
 	table    *Table
 	dead     bool
 	renewals int

@@ -89,6 +89,7 @@ type MAC struct {
 	stations map[Addr]*Station
 	nextAddr Addr
 	seq      uint64
+	ackFree  []*pendingAck // recycled SIFS-ack records
 }
 
 // New creates a MAC over the given medium.
@@ -134,13 +135,54 @@ type Station struct {
 	RetriesTotal uint64
 }
 
+// txJob carries one queued frame through the contention state machine.
+// The job itself is the argument threaded through the kernel's pooled
+// ScheduleFn timers (csWait, DIFS, backoff slots, broadcast completion,
+// ACK timeout), so the per-slot timer churn that dominates event volume
+// allocates nothing.
 type txJob struct {
+	owner      *Station
 	frame      Frame
 	retries    int
 	cw         int
+	slots      int // backoff slots remaining
 	done       func(SendResult)
-	ackTimeout *sim.Event
+	ackTimeout sim.Event
 }
+
+// ScheduleFn trampolines. Package-level functions (not closures) so
+// scheduling them is allocation-free; each recovers its state from the
+// job argument.
+func jobCSWait(a any) { j := a.(*txJob); j.owner.defer_(j) }
+
+func jobDIFSDone(a any) {
+	j := a.(*txJob)
+	s := j.owner
+	if s.mac.medium.Busy(s.radio) {
+		s.defer_(j)
+		return
+	}
+	j.slots = s.mac.kernel.Rand().Intn(j.cw + 1)
+	s.backoff(j)
+}
+
+func jobBackoffSlot(a any) {
+	j := a.(*txJob)
+	s := j.owner
+	if s.mac.medium.Busy(s.radio) {
+		s.defer_(j) // freeze: re-contend after the medium clears
+		return
+	}
+	j.slots--
+	s.backoff(j)
+}
+
+func jobBcastDone(a any) {
+	j := a.(*txJob)
+	j.owner.finishJob(j, SendResult{Frame: j.frame, OK: true, Retries: j.retries})
+}
+
+func jobAckTimeout(a any) { j := a.(*txJob); j.owner.onAckTimeout(j) }
 
 // AddStation binds a new station to the given radio and returns it.
 //
@@ -187,6 +229,7 @@ func (s *Station) Send(dst Addr, bits int, payload any, done func(SendResult)) e
 	}
 	s.mac.seq++
 	job := &txJob{
+		owner: s,
 		frame: Frame{Kind: Data, Src: s.addr, Dst: dst, Seq: s.mac.seq, Bits: bits, Payload: payload},
 		cw:    CWMin,
 		done:  done,
@@ -211,32 +254,20 @@ func (s *Station) dequeue() {
 // defer_ waits for the medium to go idle, then DIFS, then backoff.
 func (s *Station) defer_(job *txJob) {
 	if s.mac.medium.Busy(s.radio) {
-		s.mac.kernel.Schedule(SlotTime, "mac.csWait", func() { s.defer_(job) })
+		s.mac.kernel.ScheduleFn(SlotTime, "mac.csWait", jobCSWait, job)
 		return
 	}
-	s.mac.kernel.Schedule(DIFS, "mac.difs", func() {
-		if s.mac.medium.Busy(s.radio) {
-			s.defer_(job)
-			return
-		}
-		slots := s.mac.kernel.Rand().Intn(job.cw + 1)
-		s.backoff(job, slots)
-	})
+	s.mac.kernel.ScheduleFn(DIFS, "mac.difs", jobDIFSDone, job)
 }
 
-// backoff counts down idle slots, freezing when the medium goes busy.
-func (s *Station) backoff(job *txJob, slots int) {
-	if slots <= 0 {
+// backoff counts down job.slots idle slots, freezing when the medium
+// goes busy.
+func (s *Station) backoff(job *txJob) {
+	if job.slots <= 0 {
 		s.transmit(job)
 		return
 	}
-	s.mac.kernel.Schedule(SlotTime, "mac.backoff", func() {
-		if s.mac.medium.Busy(s.radio) {
-			s.defer_(job) // freeze: re-contend after the medium clears
-			return
-		}
-		s.backoff(job, slots-1)
-	})
+	s.mac.kernel.ScheduleFn(SlotTime, "mac.backoff", jobBackoffSlot, job)
 }
 
 // pickRate selects the PHY rate for a frame: base rate for broadcast,
@@ -264,17 +295,13 @@ func (s *Station) transmit(job *txJob) {
 	air := tx.Airtime()
 	if job.frame.Dst == Broadcast {
 		// Unacknowledged: done when the frame leaves the air.
-		s.mac.kernel.Schedule(air, "mac.bcastDone", func() {
-			s.finishJob(job, SendResult{Frame: job.frame, OK: true, Retries: job.retries})
-		})
+		s.mac.kernel.ScheduleFn(air, "mac.bcastDone", jobBcastDone, job)
 		return
 	}
 	// Unicast: wait for the ACK.
 	ackAir := sim.Time(float64(AckBits) / (radio.Rates[0].Mbps * 1e6) * float64(sim.Second))
 	timeout := air + SIFS + ackAir + 3*SlotTime
-	job.ackTimeout = s.mac.kernel.Schedule(timeout, "mac.ackTimeout", func() {
-		s.onAckTimeout(job)
-	})
+	job.ackTimeout = s.mac.kernel.ScheduleFn(timeout, "mac.ackTimeout", jobAckTimeout, job)
 }
 
 func (s *Station) onAckTimeout(job *txJob) {
@@ -296,10 +323,8 @@ func (s *Station) onAckTimeout(job *txJob) {
 }
 
 func (s *Station) finishJob(job *txJob, res SendResult) {
-	if job.ackTimeout != nil {
-		s.mac.kernel.Cancel(job.ackTimeout)
-		job.ackTimeout = nil
-	}
+	s.mac.kernel.Cancel(job.ackTimeout) // no-op for the zero Event
+	job.ackTimeout = sim.Event{}
 	if job.done != nil {
 		job.done(res)
 	}
@@ -352,15 +377,38 @@ func (s *Station) deliverUp(frame Frame) {
 	}
 }
 
+// pendingAck is one SIFS-deferred ACK, recycled through MAC.ackFree so
+// the per-ack timer allocates nothing. The record is released as soon
+// as it fires: Transmit boxes the frame by value into the payload, so
+// the pooled copy is free to be reused immediately.
+type pendingAck struct {
+	s     *Station
+	frame Frame
+}
+
+func firePendingAck(a any) {
+	pa := a.(*pendingAck)
+	s := pa.s
+	if _, err := s.mac.medium.Transmit(s.radio, AckBits, radio.Rates[0], pa.frame); err == nil {
+		s.SentAcks++
+	}
+	pa.s = nil
+	s.mac.ackFree = append(s.mac.ackFree, pa)
+}
+
 // sendAck transmits an immediate ACK after SIFS at the base rate,
 // bypassing contention as 802.11 does.
 func (s *Station) sendAck(data Frame) {
-	ack := Frame{Kind: Ack, Src: s.addr, Dst: data.Src, Seq: data.Seq}
-	s.mac.kernel.Schedule(SIFS, "mac.sifsAck", func() {
-		if _, err := s.mac.medium.Transmit(s.radio, AckBits, radio.Rates[0], ack); err == nil {
-			s.SentAcks++
-		}
-	})
+	var pa *pendingAck
+	if n := len(s.mac.ackFree); n > 0 {
+		pa = s.mac.ackFree[n-1]
+		s.mac.ackFree = s.mac.ackFree[:n-1]
+	} else {
+		pa = &pendingAck{}
+	}
+	pa.s = s
+	pa.frame = Frame{Kind: Ack, Src: s.addr, Dst: data.Src, Seq: data.Seq}
+	s.mac.kernel.ScheduleFn(SIFS, "mac.sifsAck", firePendingAck, pa)
 }
 
 // String summarizes the station.

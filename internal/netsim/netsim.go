@@ -169,7 +169,7 @@ type reasmState struct {
 
 type pendingCall struct {
 	done    func([]byte, error)
-	timeout *sim.Event
+	timeout sim.Event
 }
 
 // NewNode creates a node bound to the given MAC station.

@@ -1,0 +1,51 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the aroma command-line tools, so a whole campaign can be
+// profiled end to end with the stock pprof toolchain:
+//
+//	aromasweep -scenario mobiledense -reps 32 -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a
+// stop function that ends it and writes a heap profile (if memPath is
+// non-empty). The stop function must run on the clean-exit path —
+// typically via defer in main — and is safe to call when both paths are
+// empty, in which case Start does nothing.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,181 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"aroma/internal/env"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+// TestOutOfOrderCompletionOverlapping covers the Seq-indexed removal in
+// finish: three transmissions overlap in the air but complete in a
+// different order than they started (later, shorter frames land first),
+// so each completion removes from the middle or tail of the active set,
+// never just the head.
+func TestOutOfOrderCompletionOverlapping(t *testing.T) {
+	k, m := newMedium(1)
+	// Three senders far apart on orthogonal channels so every frame
+	// decodes cleanly at its nearby receiver regardless of the others.
+	pairs := []struct {
+		ch   int
+		x    float64
+		bits int
+	}{
+		{1, 0, 24000}, // longest: starts first, finishes last
+		{6, 40, 8000}, // finishes second
+		{11, 80, 800}, // shortest: starts last, finishes first
+	}
+	var order []int
+	for i, p := range pairs {
+		i := i
+		src := m.NewRadio("src", geo.Pt(p.x, 0), p.ch, 15)
+		dst := m.NewRadio("dst", geo.Pt(p.x+3, 0), p.ch, 15)
+		dst.OnReceive = func(r Receipt) {
+			if !r.OK {
+				t.Errorf("pair %d frame lost: SINR=%v", i, r.SINRdB)
+			}
+			order = append(order, i)
+		}
+		bits := p.bits
+		k.Schedule(sim.Time(i)*10*sim.Microsecond, "tx", func() {
+			if _, err := m.Transmit(src, bits, Rates[0], nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	// All three must be in the air simultaneously at some point.
+	overlapped := false
+	k.Schedule(100*sim.Microsecond, "probe", func() {
+		overlapped = m.ActiveTransmissions() == 3
+	})
+	k.Run()
+	if !overlapped {
+		t.Fatal("transmissions did not overlap; the test no longer exercises out-of-order removal")
+	}
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("completion order = %v, want [2 1 0] (reverse of start order)", order)
+	}
+	if m.ActiveTransmissions() != 0 {
+		t.Fatalf("active = %d after drain, want 0", m.ActiveTransmissions())
+	}
+	if m.Delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", m.Delivered)
+	}
+}
+
+// TestLedgerRecycledAcrossTransmissions: sequential transmissions reuse
+// pooled interference ledgers, and a recycled ledger must not leak the
+// previous tenancy's interference into a new transmission's SINR.
+func TestLedgerRecycledAcrossTransmissions(t *testing.T) {
+	k, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(5, 0), 6, 15)
+	jam := m.NewRadio("jam", geo.Pt(6, 0), 6, 15)
+	var sinrs []float64
+	b.OnReceive = func(r Receipt) {
+		if r.Tx.Src == a {
+			sinrs = append(sinrs, r.SINRdB)
+		}
+	}
+	// Round 1: a's frame suffers co-channel interference from jam.
+	if _, err := m.Transmit(a, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transmit(jam, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	// Round 2: a alone — its (recycled) ledger must read zero.
+	if _, err := m.Transmit(a, 8000, Rates[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(sinrs) != 2 {
+		t.Fatalf("receipts at b = %d, want 2", len(sinrs))
+	}
+	if !(sinrs[1] > sinrs[0]+20) {
+		t.Fatalf("clean retransmission SINR %.1f dB not far above jammed %.1f dB; ledger state leaked across recycling", sinrs[1], sinrs[0])
+	}
+	clean := m.SNRAtDBm(a, b)
+	if math.Abs(sinrs[1]-clean) > 1e-9 {
+		t.Fatalf("interference-free SINR %.12f != SNR %.12f", sinrs[1], clean)
+	}
+}
+
+// TestGainCacheInvalidatesOnMoveAndPower: cached link gains must follow
+// SetPos on either endpoint and direct TxPowerDBm changes.
+func TestGainCacheInvalidatesOnMoveAndPower(t *testing.T) {
+	_, m := newMedium(1)
+	a := m.NewRadio("a", geo.Pt(0, 0), 6, 15)
+	b := m.NewRadio("b", geo.Pt(10, 0), 6, 15)
+	near := m.MeasureRSSI(a, b)
+	if again := m.MeasureRSSI(a, b); again != near {
+		t.Fatalf("repeated measurement differs: %v vs %v", again, near)
+	}
+	b.SetPos(geo.Pt(40, 0))
+	far := m.MeasureRSSI(a, b)
+	if far >= near {
+		t.Fatalf("RSSI did not drop after receiver moved away: near=%v far=%v", near, far)
+	}
+	a.SetPos(geo.Pt(-30, 0))
+	farther := m.MeasureRSSI(a, b)
+	if farther >= far {
+		t.Fatalf("RSSI did not drop after sender moved away: far=%v farther=%v", far, farther)
+	}
+	a.TxPowerDBm += 10
+	boosted := m.MeasureRSSI(a, b)
+	if math.Abs(boosted-(farther+10)) > 1e-9 {
+		t.Fatalf("+10 dB transmit power moved RSSI from %v to %v, want exactly +10", farther, boosted)
+	}
+}
+
+// TestMediumDenseAllocsBudget is the allocation regression guard for
+// the BenchmarkMediumDense* workload shape: after warmup, a burst of 64
+// overlapping transmissions across a dense indexed medium must stay
+// within a small allocation budget (approximately one Transmission
+// record per frame — no per-event, per-ledger, or per-pair-math
+// allocations). The budget is ~3x the measured steady state (~165) to
+// absorb incidental growth, while the pre-pooling code (~1850) fails it
+// by an order of magnitude.
+func TestMediumDenseAllocsBudget(t *testing.T) {
+	k := sim.New(1)
+	side := 1000.0
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, side, side)))
+	m := NewMedium(k, e, WithRxCutoffDBm(-100), WithGridCellM(50))
+	cols := 32
+	var radios []*Radio
+	channels := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	for i := 0; i < 500; i++ {
+		pos := geo.Pt(float64(i%cols)*(side/float64(cols)), float64(i/cols)*(side/float64(cols)))
+		r := m.NewRadio("r", pos, channels[i%len(channels)], 15)
+		r.OnReceive = func(Receipt) {}
+		radios = append(radios, r)
+	}
+	iter := 0
+	burst := func() {
+		for j := 0; j < 64; j++ {
+			src := radios[(iter*64+j*17)%len(radios)]
+			k.Schedule(sim.Time(j)*50*sim.Microsecond, "bench.tx", func() {
+				if _, err := m.Transmit(src, 2000, Rates[0], nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		k.Run()
+		iter++
+	}
+	for _, r := range radios {
+		m.candidatesFor(r) // build every sender's candidate cache once
+	}
+	for i := 0; i < 3; i++ {
+		burst() // warm the ledger pool, event pool, and gain caches
+	}
+	allocs := testing.AllocsPerRun(5, burst)
+	const budget = 520
+	t.Logf("dense burst: %.0f allocs/run (budget %d)", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("dense burst allocated %.0f/run, budget %d — the PHY hot path has regressed", allocs, budget)
+	}
+}

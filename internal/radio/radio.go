@@ -54,6 +54,19 @@
 // WithFullScan restores the naive scan of every attached radio (still in
 // deterministic ID order) as a reference mode for benchmarks and physics
 // cross-checks.
+//
+// # Allocation discipline
+//
+// The delivery hot path is allocation-free in steady state: interference
+// ledgers are pooled epoch-stamped slices recycled across transmissions,
+// pairwise link gains are cached in linear milliwatts (revalidated by
+// per-radio position generations, so unmoved pairs recompute no
+// transcendentals), the end-of-transmission event rides the kernel's
+// pooled ScheduleFn path, and completed transmissions leave the active
+// set by Seq binary search. Every cache memoizes exactly the value the
+// uncached code would compute, in the same accumulation order, keeping
+// run digests bit-identical to the unoptimized medium (see README
+// "Performance" for the contract).
 package radio
 
 import (
@@ -153,10 +166,53 @@ type Transmission struct {
 	// Squared so the hot-path checks compare against squared distances
 	// without a square root.
 	range2 float64
-	// interferenceMW accumulates, per prospective receiver radio ID, the
-	// worst-case interference power observed while this transmission was
-	// in the air.
-	interferenceMW map[int]float64
+	// led accumulates, per prospective receiver radio ID, the worst-case
+	// interference power observed while this transmission was in the
+	// air. Ledgers are pooled on the medium and returned when the
+	// transmission finishes.
+	led *ledger
+}
+
+// ledgerCell is one receiver's interference accumulator. The epoch
+// stamp makes reuse O(touched receivers): a recycled ledger bumps its
+// epoch instead of zeroing every cell, and a cell whose stamp does not
+// match the ledger's current epoch reads as zero.
+type ledgerCell struct {
+	epoch uint64
+	mw    float64
+}
+
+// ledger is a dense radio-ID-indexed interference accumulator, pooled
+// per Medium so the PHY hot path performs no per-transmission map or
+// slice allocation in steady state.
+type ledger struct {
+	epoch uint64
+	cells []ledgerCell
+}
+
+// add accumulates mw of interference at receiver id.
+func (l *ledger) add(id int, mw float64) {
+	if id >= len(l.cells) {
+		grown := make([]ledgerCell, id+id/2+8)
+		copy(grown, l.cells)
+		l.cells = grown
+	}
+	c := &l.cells[id]
+	if c.epoch != l.epoch {
+		c.epoch, c.mw = l.epoch, mw
+		return
+	}
+	c.mw += mw
+}
+
+// at returns the accumulated interference at receiver id.
+func (l *ledger) at(id int) float64 {
+	if id < len(l.cells) {
+		if c := &l.cells[id]; c.epoch == l.epoch {
+			return c.mw
+		}
+	}
+	return 0
 }
 
 // Payload returns the opaque payload attached at Transmit time.
@@ -214,6 +270,32 @@ type Radio struct {
 	candChannel int
 	candChanSum uint64
 	candCover   *geo.Cover
+
+	// linkGen versions this radio's position for the pairwise gain
+	// cache: every actual position change bumps it, so cached link
+	// gains involving this radio (as transmitter or receiver) are
+	// revalidated with two integer compares. Starts at 1 so the
+	// zero-valued cache entry is never considered fresh.
+	linkGen uint64
+
+	// gainTo caches, per receiver radio ID, the received power of this
+	// radio's signal in both dBm and linear milliwatts, so the
+	// per-pair delivery, interference, and energy loops do zero
+	// math.Pow/math.Log10 for unmoved pairs. Entries are revalidated
+	// against both ends' linkGen and this radio's TxPowerDBm.
+	gainTo []pairGain
+}
+
+// pairGain is one directed cached link budget: the received power at
+// one receiver for this transmitter's current position, power, and the
+// receiver's current position. Fading (wall loss, frozen shadow draws)
+// is position-determined, so the pair of linkGens plus the transmit
+// power fully key the value.
+type pairGain struct {
+	srcGen, rxGen uint64
+	srcPower      float64
+	mw            float64 // received power, linear milliwatts
+	rssi          float64 // received power, dBm
 }
 
 // SetPos moves the radio, keeping the medium's spatial index in sync.
@@ -230,6 +312,7 @@ func (r *Radio) SetPos(p geo.Point) {
 		return
 	}
 	r.Pos = p
+	r.linkGen++ // all cached link gains to and from this radio are stale
 	if m := r.medium; m != nil && m.cutoffEnabled() && m.attached(r) {
 		m.grid.Move(r.ID, p)
 		if m.globalInval {
@@ -325,9 +408,11 @@ type Medium struct {
 	kernel *sim.Kernel
 	env    *env.Environment
 
-	// radios maps ID -> radio for O(1) attachment checks only; every
-	// iteration goes through the ordered indexes below.
-	radios    map[int]*Radio
+	// byID is a dense ID-indexed attachment table (IDs are assigned
+	// densely from 1 and never reused): byID[r.ID] == r iff r is
+	// attached. It replaces the former map so attachment checks on the
+	// hot path are a bounds check plus one compare, with no hashing.
+	byID      []*Radio
 	ordered   []*Radio                 // all attached radios, ID-ascending
 	byChannel [MaxChannel + 1][]*Radio // per-channel partition, ID-ascending
 	grid      *geo.Grid                // spatial index over radio positions
@@ -335,6 +420,23 @@ type Medium struct {
 	// active holds in-flight transmissions in ascending Seq order, so
 	// energy and interference sums always accumulate identically.
 	active []*Transmission
+
+	// ledgerFree recycles interference ledgers across transmissions;
+	// ledgerEpoch stamps each tenancy (see ledger).
+	ledgerFree  []*ledger
+	ledgerEpoch uint64
+
+	// rxScratch is the reusable in-range receiver buffer for finish;
+	// deliveries never nest, so one buffer serves every transmission.
+	rxScratch []*Radio
+
+	// noiseMW/noiseDBm memoize the environment noise floor keyed by the
+	// ambient component, so per-delivery and per-carrier-sense noise
+	// sums skip the dBm→mW transcendentals.
+	noiseKey   float64
+	noiseMW    float64
+	noiseDBm   float64
+	noiseValid bool
 
 	nextID int
 	seq    uint64
@@ -368,7 +470,6 @@ func NewMedium(k *sim.Kernel, e *env.Environment, opts ...MediumOption) *Medium 
 	m := &Medium{
 		kernel:    k,
 		env:       e,
-		radios:    make(map[int]*Radio),
 		cutoffDBm: math.Inf(-1),
 		gridCell:  geo.DefaultGridCell,
 	}
@@ -392,7 +493,9 @@ func (m *Medium) cutoffEnabled() bool {
 	return !m.fullScan && !math.IsInf(m.cutoffDBm, -1)
 }
 
-func (m *Medium) attached(r *Radio) bool { return m.radios[r.ID] == r }
+func (m *Medium) attached(r *Radio) bool {
+	return r.ID < len(m.byID) && m.byID[r.ID] == r
+}
 
 // NewRadio creates, attaches and returns a radio. Channel is clamped to
 // the legal range.
@@ -406,8 +509,12 @@ func (m *Medium) NewRadio(name string, pos geo.Point, channel int, txPowerDBm fl
 		TxPowerDBm:     txPowerDBm,
 		CSThresholdDBm: -82,
 		medium:         m,
+		linkGen:        1,
 	}
-	m.radios[r.ID] = r
+	for len(m.byID) <= r.ID {
+		m.byID = append(m.byID, nil)
+	}
+	m.byID[r.ID] = r
 	m.ordered = append(m.ordered, r) // IDs are monotonic: stays sorted
 	m.channelInsert(r)
 	m.grid.Insert(r.ID, pos) // bumps the destination cell's generation
@@ -439,7 +546,7 @@ func (m *Medium) Detach(r *Radio) {
 	if !m.attached(r) {
 		return
 	}
-	delete(m.radios, r.ID)
+	m.byID[r.ID] = nil
 	i := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].ID >= r.ID })
 	if i < len(m.ordered) && m.ordered[i] == r {
 		m.ordered = append(m.ordered[:i], m.ordered[i+1:]...)
@@ -546,7 +653,7 @@ func (m *Medium) buildCandidates(src *Radio) []*Radio {
 	if m.cutoffEnabled() {
 		rangeM := m.hearingRange(src)
 		collect := func(id int, _ geo.Point) {
-			r := m.radios[id]
+			r := m.byID[id]
 			if r == src || r.Channel < lo || r.Channel > hi {
 				return
 			}
@@ -576,7 +683,7 @@ func (m *Medium) buildCandidates(src *Radio) []*Radio {
 			}
 		}
 		// The grid visits cell-major; restore the global ID order.
-		sort.Sort(byID(dst))
+		sort.Sort(byIDOrder(dst))
 		return dst
 	}
 	total := 0
@@ -633,20 +740,79 @@ func distSq(a, b geo.Point) float64 {
 // squared returns v*v, preserving +Inf (the disabled-cutoff range).
 func squared(v float64) float64 { return v * v }
 
-// byID sorts radios by ascending ID.
-type byID []*Radio
+// byIDOrder sorts radios by ascending ID.
+type byIDOrder []*Radio
 
-func (s byID) Len() int           { return len(s) }
-func (s byID) Less(i, j int) bool { return s[i].ID < s[j].ID }
-func (s byID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byIDOrder) Len() int           { return len(s) }
+func (s byIDOrder) Less(i, j int) bool { return s[i].ID < s[j].ID }
+func (s byIDOrder) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
-// EnergyAtDBm returns the total in-band energy a radio currently senses:
-// the channel-overlap-weighted sum of all active transmissions' received
-// power at the radio's position, plus the noise floor. Transmissions are
-// summed in ascending sequence order, so the floating-point result is
-// identical across runs.
-func (m *Medium) EnergyAtDBm(r *Radio) float64 {
-	total := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
+// linkGain returns the received power at rx for a transmission from
+// src, in linear milliwatts and dBm, through the per-pair cache. The
+// value is exactly DBmToMilliwatts(env.ReceivedPowerDBm(...)) — the
+// cache only removes the math.Pow/math.Log10 recomputation for pairs
+// whose endpoints have not moved (linkGen) and whose transmit power is
+// unchanged, so every downstream sum is bit-identical to the uncached
+// path. Environment propagation parameters (exponent, walls, shadow
+// sigma) are build-time constants of a run; deterministic shadow draws
+// happen on first computation exactly as they would uncached.
+//
+// Memory: each transmitting radio's row is sized to the full radio
+// count on first use, so the cache is O(radios²) worst case — 40 bytes
+// per directed pair, ~40 MB at 1000 radios (see README "Performance").
+// The spatial cutoff keeps the *computed* pair set local, but the row
+// itself is dense for O(1) indexing.
+func (m *Medium) linkGain(src, rx *Radio) (mw, rssi float64) {
+	if rx.ID >= len(src.gainTo) {
+		grown := make([]pairGain, m.nextID+1)
+		copy(grown, src.gainTo)
+		src.gainTo = grown
+	}
+	g := &src.gainTo[rx.ID]
+	if g.srcGen == src.linkGen && g.rxGen == rx.linkGen && g.srcPower == src.TxPowerDBm {
+		return g.mw, g.rssi
+	}
+	rssi = m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, rx.Pos)
+	mw = env.DBmToMilliwatts(rssi)
+	*g = pairGain{srcGen: src.linkGen, rxGen: rx.linkGen, srcPower: src.TxPowerDBm, mw: mw, rssi: rssi}
+	return mw, rssi
+}
+
+// noiseFloor memoizes the environment's RF noise floor (mW and dBm),
+// keyed by the ambient component — the only input that can change.
+func (m *Medium) noiseFloor() (mw, dbm float64) {
+	if !m.noiseValid || m.noiseKey != m.env.AmbientNoiseDBm {
+		m.noiseKey = m.env.AmbientNoiseDBm
+		m.noiseDBm = m.env.NoiseFloorDBm()
+		m.noiseMW = env.DBmToMilliwatts(m.noiseDBm)
+		m.noiseValid = true
+	}
+	return m.noiseMW, m.noiseDBm
+}
+
+// acquireLedger takes a pooled interference ledger for a new
+// transmission, stamping a fresh epoch so stale cells read as zero.
+func (m *Medium) acquireLedger() *ledger {
+	m.ledgerEpoch++
+	var l *ledger
+	if n := len(m.ledgerFree); n > 0 {
+		l = m.ledgerFree[n-1]
+		m.ledgerFree = m.ledgerFree[:n-1]
+	} else {
+		l = &ledger{}
+	}
+	l.epoch = m.ledgerEpoch
+	return l
+}
+
+// energyAtMW returns the total in-band energy a radio currently senses
+// in linear milliwatts: the channel-overlap-weighted sum of all active
+// transmissions' received power at the radio's position, plus the noise
+// floor. Transmissions are summed in ascending sequence order with
+// cached per-pair gains, so the floating-point result is bit-identical
+// across runs and to the uncached computation.
+func (m *Medium) energyAtMW(r *Radio) float64 {
+	total, _ := m.noiseFloor()
 	now := m.kernel.Now()
 	for _, tx := range m.active {
 		if tx.Src.ID == r.ID {
@@ -662,13 +828,21 @@ func (m *Medium) EnergyAtDBm(r *Radio) float64 {
 		if distSq(tx.Src.Pos, r.Pos) > tx.range2 {
 			continue // below the receive cutoff by construction
 		}
-		rx := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, r.Pos)
-		total += env.DBmToMilliwatts(rx) * ov
+		mw, _ := m.linkGain(tx.Src, r)
+		total += mw * ov
 	}
-	return env.MilliwattsToDBm(total)
+	return total
+}
+
+// EnergyAtDBm returns the total in-band energy a radio currently
+// senses, in dBm (see energyAtMW).
+func (m *Medium) EnergyAtDBm(r *Radio) float64 {
+	return env.MilliwattsToDBm(m.energyAtMW(r))
 }
 
 // Busy reports whether the radio's carrier sense sees the medium busy.
+// The comparison stays in the dB domain so the decision is bit-for-bit
+// the one the unoptimized model made.
 func (m *Medium) Busy(r *Radio) bool {
 	return m.EnergyAtDBm(r) > r.CSThresholdDBm
 }
@@ -676,14 +850,16 @@ func (m *Medium) Busy(r *Radio) bool {
 // SNRAtDBm returns the signal-to-noise ratio (no interference) a receiver
 // would see for a transmission from src, used for rate selection.
 func (m *Medium) SNRAtDBm(src, dst *Radio) float64 {
-	rx := m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, dst.Pos)
-	return rx - m.env.NoiseFloorDBm()
+	_, rx := m.linkGain(src, dst)
+	_, noiseDBm := m.noiseFloor()
+	return rx - noiseDBm
 }
 
 // MeasureRSSI returns the received power at dst for a probe from src —
 // the primitive on which RSSI ranging is built.
 func (m *Medium) MeasureRSSI(src, dst *Radio) float64 {
-	return m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, dst.Pos)
+	_, rssi := m.linkGain(src, dst)
+	return rssi
 }
 
 // ErrZeroBits is returned by Transmit for an empty frame.
@@ -704,15 +880,15 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 	now := m.kernel.Now()
 	m.seq++
 	tx := &Transmission{
-		Seq:            m.seq,
-		Src:            r,
-		Bits:           bits,
-		Rate:           rate,
-		Start:          now,
-		End:            now + sim.Time(airSeconds*float64(sim.Second)),
-		payload:        payload,
-		range2:         squared(m.hearingRange(r)),
-		interferenceMW: make(map[int]float64),
+		Seq:     m.seq,
+		Src:     r,
+		Bits:    bits,
+		Rate:    rate,
+		Start:   now,
+		End:     now + sim.Time(airSeconds*float64(sim.Second)),
+		payload: payload,
+		range2:  squared(m.hearingRange(r)),
+		led:     m.acquireLedger(),
 	}
 	// Record mutual interference with all currently active transmissions,
 	// oldest first.
@@ -723,8 +899,16 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 	}
 	m.active = append(m.active, tx) // Seq is monotonic: stays sorted
 	m.Sent++
-	m.kernel.Schedule(tx.End-now, "radio.txEnd", func() { m.finish(tx) })
+	m.kernel.ScheduleFn(tx.End-now, "radio.txEnd", finishTransmission, tx)
 	return tx, nil
+}
+
+// finishTransmission is the ScheduleFn trampoline for the
+// end-of-transmission event; the medium is recovered from the sender,
+// whose binding outlives detachment.
+func finishTransmission(a any) {
+	tx := a.(*Transmission)
+	tx.Src.medium.finish(tx)
 }
 
 // recordInterference adds other's power into victim's per-receiver
@@ -744,36 +928,40 @@ func (m *Medium) recordInterference(victim, other *Transmission, hearers []*Radi
 		if distSq(other.Src.Pos, rx.Pos) > other.range2 {
 			continue // below the receive cutoff by construction
 		}
-		p := env.DBmToMilliwatts(m.env.ReceivedPowerDBm(other.Src.TxPowerDBm, other.Src.Pos, rx.Pos)) * ov
-		victim.interferenceMW[rx.ID] += p
+		mw, _ := m.linkGain(other.Src, rx)
+		victim.led.add(rx.ID, mw*ov)
 	}
 }
 
 // finish delivers a completed transmission to every radio that could hear
 // it, in ascending radio-ID order.
 func (m *Medium) finish(tx *Transmission) {
-	for i, a := range m.active {
-		if a == tx {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// active is Seq-ascending and Seq is monotonic, so the completed
+	// transmission is found by binary search: overlapping transmissions
+	// completing out of order (shorter frames started later) cost
+	// O(log active), not a linear scan.
+	if i := sort.Search(len(m.active), func(i int) bool { return m.active[i].Seq >= tx.Seq }); i < len(m.active) && m.active[i] == tx {
+		m.active = append(m.active[:i], m.active[i+1:]...)
 	}
-	noiseMW := env.DBmToMilliwatts(m.env.NoiseFloorDBm())
+	noiseMW, _ := m.noiseFloor()
 	// The candidate snapshot is immutable: OnReceive callbacks may
 	// transmit or attach/detach radios without disturbing this delivery
 	// round (detached receivers are re-checked below). The exact range
 	// decision is likewise frozen here, before any callback runs: a
 	// callback that moves a radio must not change this round's delivery
 	// membership, or the cell-conservative superset and a rebuilt exact
-	// circle would disagree.
+	// circle would disagree. The frozen in-range set lives in a scratch
+	// buffer reused across deliveries (finish never nests: it only runs
+	// as a kernel event, and callbacks can only schedule, not deliver).
 	receivers := m.candidatesFor(tx.Src)
 	if !math.IsInf(tx.range2, 1) {
-		inRange := make([]*Radio, 0, len(receivers))
+		inRange := m.rxScratch[:0]
 		for _, rx := range receivers {
 			if distSq(tx.Src.Pos, rx.Pos) <= tx.range2 {
 				inRange = append(inRange, rx)
 			}
 		}
+		m.rxScratch = inRange[:0]
 		receivers = inRange
 	}
 	for _, rx := range receivers {
@@ -784,9 +972,9 @@ func (m *Medium) finish(tx *Transmission) {
 		if ov == 0 {
 			continue
 		}
-		rssi := m.env.ReceivedPowerDBm(tx.Src.TxPowerDBm, tx.Src.Pos, rx.Pos)
-		sigMW := env.DBmToMilliwatts(rssi) * ov
-		intMW := tx.interferenceMW[rx.ID]
+		mw, rssi := m.linkGain(tx.Src, rx)
+		sigMW := mw * ov
+		intMW := tx.led.at(rx.ID)
 		sinr := 10 * math.Log10(sigMW/(noiseMW+intMW))
 		ok := sinr >= tx.Rate.MinSINRdB
 		if ok {
@@ -796,6 +984,10 @@ func (m *Medium) finish(tx *Transmission) {
 		}
 		rx.OnReceive(Receipt{Tx: tx, RSSIdBm: rssi, SINRdB: sinr, OK: ok})
 	}
+	// The ledger is no longer needed: recordInterference only targets
+	// active transmissions, and delivery above has consumed every cell.
+	m.ledgerFree = append(m.ledgerFree, tx.led)
+	tx.led = nil
 }
 
 // ActiveTransmissions returns the number of frames currently in the air.

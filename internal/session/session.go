@@ -81,7 +81,7 @@ type Manager struct {
 	owner     string
 	grantedAt sim.Time
 	lastTouch sim.Time
-	idleTimer *sim.Event
+	idleTimer sim.Event
 	waiters   []waiter
 
 	// OnEnd, if non-nil, observes every session end.
@@ -191,10 +191,8 @@ func (m *Manager) ForceRelease() error {
 }
 
 func (m *Manager) armIdleTimer() {
-	if m.idleTimer != nil {
-		m.kernel.Cancel(m.idleTimer)
-		m.idleTimer = nil
-	}
+	m.kernel.Cancel(m.idleTimer) // no-op for the zero Event
+	m.idleTimer = sim.Event{}
 	if m.Policy != IdleTimeout {
 		return
 	}
@@ -215,10 +213,8 @@ func (m *Manager) armIdleTimer() {
 func (m *Manager) end(reason EndReason) {
 	owner := m.owner
 	m.owner = ""
-	if m.idleTimer != nil {
-		m.kernel.Cancel(m.idleTimer)
-		m.idleTimer = nil
-	}
+	m.kernel.Cancel(m.idleTimer)
+	m.idleTimer = sim.Event{}
 	if m.OnEnd != nil {
 		m.OnEnd(owner, reason)
 	}

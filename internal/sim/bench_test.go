@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// benchArg is the shared ScheduleFn payload for the kernel benchmarks.
+type benchArg struct{ n int }
+
+func benchNop(a any) { a.(*benchArg).n++ }
+
+// BenchmarkKernelSchedule is the root kernel figure: schedule and drain
+// 1024 timers per iteration through the pooled fast path. This is the
+// shape of the MAC's backoff/DIFS/SIFS event volume, and the benchmark
+// the CI regression gate tracks (see scripts/bench.sh); it must stay at
+// zero allocs/op.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := New(1)
+	arg := &benchArg{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			k.ScheduleFn(Time(j%97)*Microsecond, "bench", benchNop, arg)
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkKernelScheduleClosure measures the closure path (one
+// allocation per Schedule at the caller) for comparison.
+func BenchmarkKernelScheduleClosure(b *testing.B) {
+	k := New(1)
+	n := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			k.Schedule(Time(j%97)*Microsecond, "bench", func() { n++ })
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkKernelScheduleCancel exercises the lazy-cancellation path:
+// half the scheduled timers are cancelled before the queue drains,
+// mirroring the MAC's ACK-timeout churn (most timeouts are cancelled by
+// the ACK arriving first).
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := New(1)
+	arg := &benchArg{}
+	var evs [1024]Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range evs {
+			evs[j] = k.ScheduleFn(Time(j%97)*Microsecond, "bench", benchNop, arg)
+		}
+		for j := 0; j < len(evs); j += 2 {
+			k.Cancel(evs[j])
+		}
+		k.Run()
+	}
+}

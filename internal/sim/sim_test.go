@@ -72,12 +72,12 @@ func TestCancel(t *testing.T) {
 	if k.Cancel(ev) {
 		t.Fatal("second Cancel returned true")
 	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
 	k.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
-	}
-	if !ev.Cancelled() {
-		t.Fatal("event not marked cancelled")
 	}
 }
 

@@ -79,19 +79,58 @@ func (s Severity) String() string {
 	}
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. The message is formatted lazily:
+// recording stores the format string and arguments, and the final text
+// is produced (once) on the first Message call — typically at analysis
+// or render time, long after the hot loop has moved on. Events recorded
+// without arguments skip even that and carry the string directly.
+//
+// Lazy formatting requires that arguments be immutable snapshots
+// (numbers, strings, error values — not pointers to state that keeps
+// mutating after the record), which is also what deterministic digests
+// require of them.
 type Event struct {
 	At       sim.Time
 	Layer    Layer
 	Severity Severity
 	Entity   string // which device/user/service reported it
-	Message  string
+
+	text string   // the message when no args were given (fast path)
+	msg  *lazyMsg // deferred format+args otherwise
+}
+
+// lazyMsg defers fmt.Sprintf until the first read. The pointer is
+// shared by every copy of the Event, so formatting happens at most once
+// per recorded event; the simulation model is single-threaded, so no
+// lock is needed.
+type lazyMsg struct {
+	format string
+	args   []any
+	done   bool
+	text   string
+}
+
+func (m *lazyMsg) message() string {
+	if !m.done {
+		m.text = fmt.Sprintf(m.format, m.args...)
+		m.args = nil
+		m.done = true
+	}
+	return m.text
+}
+
+// Message returns the formatted event message.
+func (e Event) Message() string {
+	if e.msg != nil {
+		return e.msg.message()
+	}
+	return e.text
 }
 
 // String formats the event on one line.
 func (e Event) String() string {
 	return fmt.Sprintf("%12s %-11s %-9s %-16s %s",
-		e.At, e.Layer, e.Severity, e.Entity, e.Message)
+		e.At, e.Layer, e.Severity, e.Entity, e.Message())
 }
 
 // Log collects events. A nil *Log is valid and discards everything, so
@@ -128,17 +167,34 @@ func (l *Log) SetMinSeverity(sev Severity) {
 	l.minKeep = sev
 }
 
-// Record appends an event. Recording to a nil log is a no-op.
+// Record appends an event. Recording to a nil log or below the minimum
+// severity is a no-op that performs no formatting, so model code can
+// trace unconditionally from its innermost loops; a filtered-out call
+// with no arguments allocates nothing at all (a call with arguments
+// still pays the caller's variadic boxing — a small allocation, never a
+// Sprintf). Kept events defer fmt.Sprintf to the first read of
+// Event.Message, and the no-argument form skips formatting entirely.
+// Arguments must be immutable snapshots (see Event).
 func (l *Log) Record(layer Layer, sev Severity, entity, format string, args ...any) {
 	if l == nil || sev < l.minKeep {
 		return
 	}
+	l.record(layer, sev, entity, format, args)
+}
+
+// record is the kept-event slow path, kept out of Record so the
+// filtered fast path stays inlinable at every call site.
+func (l *Log) record(layer Layer, sev Severity, entity, format string, args []any) {
 	ev := Event{
 		At:       l.clock(),
 		Layer:    layer,
 		Severity: sev,
 		Entity:   entity,
-		Message:  fmt.Sprintf(format, args...),
+	}
+	if len(args) == 0 {
+		ev.text = format
+	} else {
+		ev.msg = &lazyMsg{format: format, args: args}
 	}
 	l.events = append(l.events, ev)
 	if l.OnRecord != nil {
@@ -146,19 +202,32 @@ func (l *Log) Record(layer Layer, sev Severity, entity, format string, args ...a
 	}
 }
 
-// Issue records an Issue-severity event.
+// Issue records an Issue-severity event. Like Record, a filtered-out
+// call allocates nothing and a no-argument call never formats.
 func (l *Log) Issue(layer Layer, entity, format string, args ...any) {
-	l.Record(layer, Issue, entity, format, args...)
+	if l == nil || Issue < l.minKeep {
+		return
+	}
+	l.record(layer, Issue, entity, format, args)
 }
 
-// Violation records a Violation-severity event.
+// Violation records a Violation-severity event. Like Record, a
+// filtered-out call allocates nothing and a no-argument call never
+// formats.
 func (l *Log) Violation(layer Layer, entity, format string, args ...any) {
-	l.Record(layer, Violation, entity, format, args...)
+	if l == nil || Violation < l.minKeep {
+		return
+	}
+	l.record(layer, Violation, entity, format, args)
 }
 
-// Info records an Info-severity event.
+// Info records an Info-severity event. Like Record, a filtered-out
+// call allocates nothing and a no-argument call never formats.
 func (l *Log) Info(layer Layer, entity, format string, args ...any) {
-	l.Record(layer, Info, entity, format, args...)
+	if l == nil || Info < l.minKeep {
+		return
+	}
+	l.record(layer, Info, entity, format, args)
 }
 
 // Events returns all recorded events in order.

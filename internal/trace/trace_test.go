@@ -59,7 +59,7 @@ func TestRecordAndQuery(t *testing.T) {
 	if evs[0].At != sim.Second || evs[1].At != 2*sim.Second {
 		t.Fatal("timestamps wrong")
 	}
-	if got := l.ByLayer(Physical); len(got) != 1 || !strings.Contains(got[0].Message, "800") {
+	if got := l.ByLayer(Physical); len(got) != 1 || !strings.Contains(got[0].Message(), "800") {
 		t.Fatalf("ByLayer(Physical) = %v", got)
 	}
 	if got := l.BySeverity(Issue); len(got) != 2 {
@@ -124,5 +124,68 @@ func TestNilClockStampsZero(t *testing.T) {
 	l.Issue(Physical, "x", "y")
 	if l.Events()[0].At != 0 {
 		t.Fatal("nil clock should stamp zero")
+	}
+}
+
+// TestFilteredRecordZeroAllocs is the hot-loop contract: a record that
+// the minimum-severity filter discards must allocate nothing, for
+// Record itself and for every severity wrapper, so model code can trace
+// unconditionally from the innermost simulation loops.
+func TestFilteredRecordZeroAllocs(t *testing.T) {
+	l := New(nil)
+	l.SetMinSeverity(Violation) // everything below is filtered out
+	cases := map[string]func(){
+		"Record": func() { l.Record(Physical, Debug, "dev", "dropped frame") },
+		"Issue":  func() { l.Issue(Physical, "dev", "dropped frame") },
+		"Info":   func() { l.Info(Physical, "dev", "dropped frame") },
+		"nil log": func() {
+			var nl *Log
+			nl.Record(Physical, Violation, "dev", "dropped frame")
+		},
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s (filtered, no args): %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatal("filtered events were kept")
+	}
+}
+
+// TestNoArgFastPathSkipsFormatting: events recorded without arguments
+// carry the string itself; ones with arguments defer formatting to the
+// first Message read and then memoize it.
+func TestNoArgFastPathSkipsFormatting(t *testing.T) {
+	l := New(nil)
+	l.Issue(Physical, "dev", "plain 100%s message") // no args: kept verbatim
+	l.Issue(Physical, "dev", "formatted %d", 42)
+	evs := l.Events()
+	if got := evs[0].Message(); got != "plain 100%s message" {
+		t.Fatalf("no-arg message = %q, want the raw string", got)
+	}
+	if got := evs[1].Message(); got != "formatted 42" {
+		t.Fatalf("lazy message = %q, want formatted", got)
+	}
+	// Memoized: repeated reads return the same string.
+	if a, b := evs[1].Message(), evs[1].Message(); a != b {
+		t.Fatalf("repeated reads differ: %q vs %q", a, b)
+	}
+}
+
+// TestKeptNoArgRecordAllocsBounded: a kept no-argument record performs
+// no formatting-related allocation — only the (amortized) events-slice
+// growth, which stays well under one alloc per record.
+func TestKeptNoArgRecordAllocsBounded(t *testing.T) {
+	l := New(nil)
+	// Pre-grow the backing array so append growth doesn't dominate.
+	for i := 0; i < 4096; i++ {
+		l.Issue(Physical, "dev", "warm")
+	}
+	l.Reset()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		l.Issue(Physical, "dev", "dropped frame")
+	}); allocs != 0 {
+		t.Errorf("kept no-arg Issue: %.1f allocs/op, want 0 after warmup", allocs)
 	}
 }

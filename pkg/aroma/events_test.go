@@ -15,14 +15,14 @@ func record(w *World, n int) {
 func TestBusDeliveryOrder(t *testing.T) {
 	w := NewWorld()
 	var first, second []string
-	w.Subscribe(trace.Debug, func(ev trace.Event) { first = append(first, ev.Message) })
+	w.Subscribe(trace.Debug, func(ev trace.Event) { first = append(first, ev.Message()) })
 	w.Subscribe(trace.Debug, func(ev trace.Event) {
 		// Subscriber order: by the time the second subscriber sees event
 		// i, the first must already have seen it.
 		if len(first) != len(second)+1 {
 			t.Errorf("subscription order broken: first=%d second=%d", len(first), len(second))
 		}
-		second = append(second, ev.Message)
+		second = append(second, ev.Message())
 	})
 	record(w, 5)
 	want := []string{"event 0", "event 1", "event 2", "event 3", "event 4"}

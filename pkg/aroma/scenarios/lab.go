@@ -38,7 +38,7 @@ func runLab(cfg scenario.Config) (*scenario.Result, error) {
 
 	// The typed event bus narrates the substrates' own concerns live.
 	w.Subscribe(trace.Issue, func(ev aroma.TraceEvent) {
-		say("bus: %s %s: %s", ev.Layer, ev.Severity, ev.Message)
+		say("bus: %s %s: %s", ev.Layer, ev.Severity, ev.Message())
 	})
 
 	// Infrastructure.

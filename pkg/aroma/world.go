@@ -125,8 +125,9 @@ func (w *World) Step() bool { return w.kernel.Step() }
 // event completes. Pending events remain queued.
 func (w *World) Stop() { w.kernel.Stop() }
 
-// Schedule queues fn to run after delay d.
-func (w *World) Schedule(d sim.Time, label string, fn func()) *sim.Event {
+// Schedule queues fn to run after delay d. The returned handle is a
+// small value; pass it to the kernel's Cancel to deschedule.
+func (w *World) Schedule(d sim.Time, label string, fn func()) sim.Event {
 	return w.kernel.Schedule(d, label, fn)
 }
 
@@ -199,7 +200,7 @@ func (w *World) Digest() string {
 	mix := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
 	mix("seed=%d steps=%d now=%d|", w.kernel.Seed(), w.kernel.Steps(), w.kernel.Now())
 	for _, e := range w.log.Events() {
-		mix("%d/%d/%d/%s/%s\n", e.At, e.Layer, e.Severity, e.Entity, e.Message)
+		mix("%d/%d/%d/%s/%s\n", e.At, e.Layer, e.Severity, e.Entity, e.Message())
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — record the repo's performance trajectory.
+#
+# Runs the hot-path benchmarks (kernel event queue, dense/mobile radio
+# medium) at a statistically useful count, plus every root figure/claim
+# benchmark once, and folds the output into a JSON record via
+# cmd/benchgate. The checked-in BENCH_PR5.json was produced by this
+# script; CI re-runs the gated subset and compares against it (see
+# .github/workflows/ci.yml "Benchmark regression gate").
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Environment:
+#   COUNT      repetitions for the gated benchmarks (default 3; the
+#              per-metric minimum is recorded, benchstat-style)
+#   BENCHTIME  benchtime for the gated benchmarks (default 0.5s)
+#   SKIP_ROOT  set to 1 to skip the slow root figure/claim benchmarks
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR5.json}
+count=${COUNT:-3}
+benchtime=${BENCHTIME:-0.5s}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== kernel event queue (count=$count, benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkKernel' -benchmem \
+    -count "$count" -benchtime "$benchtime" ./internal/sim/ | tee -a "$tmp"
+
+echo "== radio medium, dense + mobile (count=$count, benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkMediumDense' -benchmem \
+    -count "$count" -benchtime "$benchtime" ./internal/radio/ | tee -a "$tmp"
+
+if [[ "${SKIP_ROOT:-0}" != 1 ]]; then
+    echo "== root figure/claim benchmarks (one shot each)"
+    go test -run '^$' -bench '.' -benchmem -benchtime 1x . | tee -a "$tmp"
+fi
+
+go run ./cmd/benchgate -emit "$out" -in "$tmp" \
+    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*"
