@@ -55,3 +55,4 @@ func BenchmarkC10DiscoveryBaseline(b *testing.B) { benchExperiment(b, "C10") }
 // Sweep campaigns.
 
 func BenchmarkS1ConcentrationCampaign(b *testing.B) { benchExperiment(b, "S1") }
+func BenchmarkS2ForkedReplications(b *testing.B)    { benchExperiment(b, "S2") }

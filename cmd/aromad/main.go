@@ -1,0 +1,68 @@
+// Command aromad is the Aroma simulation daemon: a resident process
+// hosting many concurrent simulated worlds behind a JSON HTTP API.
+//
+// Each world is a registered scenario built to time zero and then
+// driven over HTTP — step by step, for a duration, or to its horizon —
+// with live trace streaming over SSE. Worlds can be checkpointed into
+// the daemon's snapshot store, and snapshots restored or forked
+// (restored + reseeded) into new worlds; a downloaded snapshot restores
+// in-process to the bit-identical world. See internal/daemon for the
+// API table and pkg/aroma/client for the Go client.
+//
+// Usage:
+//
+//	aromad [-addr host:port]
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight requests
+// get a grace period, every hosted world's command loop stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aroma/internal/daemon"
+	_ "aroma/pkg/aroma/scenarios" // populate the scenario registry
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := daemon.New()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "aromad: listening on http://%s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "aromad:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "aromad: shutting down")
+	// Close the worlds first: that ends every SSE stream (they select on
+	// the world's quit channel), so Shutdown is not held open by
+	// long-lived streaming connections.
+	srv.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "aromad: shutdown:", err)
+	}
+}

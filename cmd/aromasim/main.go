@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"aroma/internal/profiling"
 	"aroma/internal/sim"
@@ -53,6 +55,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := scenario.Config{
 		Seed:    *seed,
 		Horizon: sim.Time(*minutes) * sim.Minute,
@@ -61,13 +66,28 @@ func main() {
 	}
 
 	if *all {
-		runAll(cfg)
+		runAll(ctx, cfg)
 		return
 	}
 
-	if _, err := scenario.Run(*name, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// A scenario run is not preemptible, so run it aside and on SIGINT/
+	// SIGTERM exit gracefully — flushing any in-flight profiles — rather
+	// than dying with a truncated, unreadable profile.
+	done := make(chan error, 1)
+	go func() {
+		_, err := scenario.Run(*name, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "aromasim: interrupted")
+		stopProfiles()
+		os.Exit(130)
 	}
 }
 
@@ -76,7 +96,7 @@ func main() {
 // world with captured output — and prints one comparison row per
 // scenario in registry order. With -verbose each scenario's captured
 // narration prints as it completes (never interleaved).
-func runAll(cfg scenario.Config) {
+func runAll(ctx context.Context, cfg scenario.Config) {
 	design := sweep.Design{
 		Scenario: "batch",
 		Func: func(c scenario.Config) (*scenario.Result, error) {
@@ -100,7 +120,7 @@ func runAll(cfg scenario.Config) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep, err := s.Run(context.Background())
+	rep, err := s.Run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

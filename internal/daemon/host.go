@@ -1,0 +1,88 @@
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"aroma/pkg/aroma/scenario"
+)
+
+// errWorldClosed is returned by host.do after the world is deleted.
+var errWorldClosed = errors.New("world deleted")
+
+// host owns one hosted world. An Aroma world, like the kernel beneath
+// it, is single-threaded; the host preserves that invariant under a
+// concurrent HTTP surface by funneling every touch of the world —
+// stepping, snapshotting, subscribing, even reading the clock —
+// through one command-loop goroutine. HTTP handlers submit closures
+// with do and wait; closures execute strictly one at a time, so a
+// long run-to-horizon and a concurrent snapshot request serialize
+// instead of racing.
+type host struct {
+	id   string
+	scen string // scenario name, for listings
+
+	// built (the world plus its horizon and finish hook) and out (the
+	// world's captured narration; nil for restored worlds, whose replay
+	// discards it) are owned by the loop goroutine: only code passed
+	// through do may touch them. out is the same buffer the scenario's
+	// closures write to — scheduled narration keeps landing in it.
+	built *scenario.Built
+	out   *bytes.Buffer
+
+	cmds chan func()
+	quit chan struct{}
+	once sync.Once
+}
+
+func newHost(id, scen string, b *scenario.Built, out *bytes.Buffer) *host {
+	h := &host{
+		id:    id,
+		scen:  scen,
+		built: b,
+		out:   out,
+		cmds:  make(chan func()),
+		quit:  make(chan struct{}),
+	}
+	go h.loop()
+	return h
+}
+
+// loop is the world's single thread.
+func (h *host) loop() {
+	for {
+		select {
+		case fn := <-h.cmds:
+			fn()
+		case <-h.quit:
+			return
+		}
+	}
+}
+
+// do runs fn on the world's loop and waits for it to finish. It fails
+// once the host is closed (and never runs fn then).
+func (h *host) do(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case h.cmds <- func() { defer close(done); fn() }:
+	case <-h.quit:
+		return errWorldClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-h.quit:
+		// The loop may already have picked fn up; wait for it rather
+		// than returning while the closure still runs.
+		<-done
+		return nil
+	}
+}
+
+// close shuts the loop down. Idempotent. A command in flight finishes;
+// queued callers get errWorldClosed.
+func (h *host) close() {
+	h.once.Do(func() { close(h.quit) })
+}

@@ -1,0 +1,88 @@
+package discovery
+
+import (
+	"sort"
+
+	"aroma/internal/lease"
+	"aroma/internal/netsim"
+)
+
+// ItemState is one registered service in canonical export form.
+type ItemState struct {
+	ID      ServiceID         `json:"id"`
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	LeaseID lease.ID          `json:"lease_id"`
+}
+
+// SubState is one live subscription in canonical export form.
+type SubState struct {
+	ID      uint64      `json:"id"`
+	Client  netsim.Addr `json:"client"`
+	LeaseID lease.ID    `json:"lease_id"`
+}
+
+// State is the lookup service's exportable state: registry contents in
+// ascending service-ID order, subscriptions in ascending sub-ID order,
+// the embedded lease table, and the lifetime stats. Announce timers are
+// kernel events and reappear in the kernel's pending-event export.
+type State struct {
+	Addr            netsim.Addr `json:"addr"`
+	NextID          ServiceID   `json:"next_id"`
+	NextSub         uint64      `json:"next_sub"`
+	Items           []ItemState `json:"items,omitempty"`
+	Subs            []SubState  `json:"subs,omitempty"`
+	Leases          lease.State `json:"leases"`
+	Registrations   uint64      `json:"registrations"`
+	Expirations     uint64      `json:"expirations"`
+	Cancellations   uint64      `json:"cancellations"`
+	LookupsServed   uint64      `json:"lookups_served"`
+	EventsDelivered uint64      `json:"events_delivered"`
+}
+
+// ExportState captures the lookup service's current state in canonical
+// form.
+func (l *Lookup) ExportState() State {
+	st := State{
+		Addr:            l.Addr(),
+		NextID:          l.nextID,
+		NextSub:         l.nextSub,
+		Leases:          l.leases.ExportState(),
+		Registrations:   l.Registrations,
+		Expirations:     l.Expirations,
+		Cancellations:   l.Cancellations,
+		LookupsServed:   l.LookupsServed,
+		EventsDelivered: l.EventsDelivered,
+	}
+	for id, reg := range l.items {
+		st.Items = append(st.Items, ItemState{
+			ID: id, Name: reg.item.Name, Type: reg.item.Type, Attrs: reg.item.Attrs,
+			LeaseID: reg.lease.ID(),
+		})
+	}
+	sort.Slice(st.Items, func(i, j int) bool { return st.Items[i].ID < st.Items[j].ID })
+	for id, sub := range l.subs {
+		st.Subs = append(st.Subs, SubState{ID: id, Client: sub.client, LeaseID: sub.lease.ID()})
+	}
+	sort.Slice(st.Subs, func(i, j int) bool { return st.Subs[i].ID < st.Subs[j].ID })
+	return st
+}
+
+// AgentState is a discovery agent's exportable state.
+type AgentState struct {
+	Addr               netsim.Addr `json:"addr"`
+	LookupAddr         netsim.Addr `json:"lookup_addr"`
+	Found              bool        `json:"found"`
+	AnnouncementsHeard uint64      `json:"announcements_heard"`
+}
+
+// ExportState captures the agent's current state in canonical form.
+func (a *Agent) ExportState() AgentState {
+	return AgentState{
+		Addr:               a.node.Addr(),
+		LookupAddr:         a.lookup,
+		Found:              a.found,
+		AnnouncementsHeard: a.AnnouncementsHeard,
+	}
+}

@@ -86,6 +86,7 @@ func All() []Experiment {
 		{"C9", "Roaming: projection vs presenter mobility", C9},
 		{"C10", "Discovery baselines: centralized lookup vs peer announcement", C10},
 		{"S1", "Device concentration campaign (MRIP sweep engine)", S1},
+		{"S2", "Snapshot-forked replications from a warm checkpoint", S2},
 	}
 }
 

@@ -56,12 +56,12 @@ func TestRegistryComplete(t *testing.T) {
 	for _, e := range All() {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"F1", "F2", "F3", "F4", "F5", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "S1"} {
+	for _, want := range []string{"F1", "F2", "F3", "F4", "F5", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "S1", "S2"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing from registry", want)
 		}
 	}
-	if len(ids) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(ids))
 	}
 }

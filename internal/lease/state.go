@@ -1,0 +1,46 @@
+package lease
+
+import (
+	"sort"
+
+	"aroma/internal/sim"
+)
+
+// LeaseState is one active lease in canonical export form.
+type LeaseState struct {
+	ID       ID       `json:"id"`
+	Holder   string   `json:"holder"`
+	Expires  sim.Time `json:"expires"`
+	Renewals int      `json:"renewals"`
+}
+
+// State is the table's exportable state: the ID counter, the lifetime
+// stats, and every active lease in ascending ID order. The expiry
+// timers themselves are kernel events; they reappear in the kernel's
+// pending-event export.
+type State struct {
+	Next     ID           `json:"next"`
+	Granted  uint64       `json:"granted"`
+	Expired  uint64       `json:"expired"`
+	Renewed  uint64       `json:"renewed"`
+	Released uint64       `json:"released"`
+	Leases   []LeaseState `json:"leases,omitempty"`
+}
+
+// ExportState captures the table's current state in canonical form.
+func (t *Table) ExportState() State {
+	st := State{
+		Next:     t.next,
+		Granted:  t.Granted,
+		Expired:  t.Expired,
+		Renewed:  t.Renewed,
+		Released: t.Released,
+	}
+	for _, l := range t.leases {
+		st.Leases = append(st.Leases, LeaseState{
+			ID: l.id, Holder: l.holder, Expires: l.expires, Renewals: l.renewals,
+		})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
+	return st
+}

@@ -132,6 +132,7 @@ type Kernel struct {
 
 	seq     uint64
 	rng     *rand.Rand
+	src     *countingSource
 	seed    int64
 	stopped bool
 	steps   uint64
@@ -141,8 +142,10 @@ type Kernel struct {
 // New creates a kernel whose random generator is seeded with seed.
 // The same seed always yields the same simulation.
 func New(seed int64) *Kernel {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	return &Kernel{
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  rand.New(src),
+		src:  src,
 		seed: seed,
 	}
 }

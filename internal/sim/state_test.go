@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Two kernels seeded alike must report the same draw counts and values;
+// the counting wrapper must not perturb the stream.
+func TestCountingSourcePreservesStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		va, vb := a.Rand().Int63(), b.Rand().Int63()
+		if va != vb {
+			t.Fatalf("draw %d: %d != %d", i, va, vb)
+		}
+	}
+	if a.RandDraws() != 100 || b.RandDraws() != 100 {
+		t.Fatalf("draws = %d, %d; want 100, 100", a.RandDraws(), b.RandDraws())
+	}
+	// Derived draws (Float64 composes from the source) still count the
+	// underlying advances, keeping the counter a true stream position.
+	a.Rand().Float64()
+	if a.RandDraws() <= 100 {
+		t.Fatalf("Float64 did not advance the draw counter: %d", a.RandDraws())
+	}
+}
+
+// Reseed must restart the stream exactly as a fresh kernel would.
+func TestReseedMatchesFreshKernel(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 37; i++ {
+		k.Rand().Int63()
+	}
+	k.Reseed(7)
+	fresh := New(7)
+	if k.Seed() != 7 || k.RandDraws() != 0 {
+		t.Fatalf("after Reseed: seed=%d draws=%d", k.Seed(), k.RandDraws())
+	}
+	for i := 0; i < 50; i++ {
+		if a, b := k.Rand().Int63(), fresh.Rand().Int63(); a != b {
+			t.Fatalf("draw %d after reseed: %d != %d", i, a, b)
+		}
+	}
+}
+
+// ExportState must be identical for two kernels that evolved through
+// the same event sequence, and must present pending events in (at, seq)
+// order with cancelled events excluded.
+func TestExportStateCanonical(t *testing.T) {
+	build := func() *Kernel {
+		k := New(5)
+		k.Schedule(30, "c", func() {})
+		k.Schedule(10, "a", func() {})
+		doomed := k.Schedule(20, "dead", func() {})
+		k.Schedule(20, "b", func() {})
+		k.Cancel(doomed)
+		k.RunUntil(5)
+		return k
+	}
+	a, b := build(), build()
+	sa, sb := a.ExportState(), b.ExportState()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("states differ:\n%+v\n%+v", sa, sb)
+	}
+	if sa.Now != 5 {
+		t.Fatalf("now = %v, want 5", sa.Now)
+	}
+	labels := make([]string, len(sa.Pending))
+	for i, p := range sa.Pending {
+		labels[i] = p.Label
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(labels, want) {
+		t.Fatalf("pending = %v, want %v", labels, want)
+	}
+	for i := 1; i < len(sa.Pending); i++ {
+		p, q := sa.Pending[i-1], sa.Pending[i]
+		if q.At < p.At || (q.At == p.At && q.Seq < p.Seq) {
+			t.Fatalf("pending not in (at, seq) order: %+v", sa.Pending)
+		}
+	}
+}
+
+// Running to a time T via one RunUntil call or via many partial calls
+// must export identical state — the property that makes a snapshot
+// taken mid-run replayable with a single RunUntil.
+func TestExportStateRunUntilPartitionInvariant(t *testing.T) {
+	drive := func(k *Kernel) {
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			k.Rand().Int63()
+			if n < 50 {
+				k.Schedule(Time(1+k.Rand().Int63n(5)), "tick", tick)
+			}
+		}
+		k.Schedule(1, "tick", tick)
+	}
+	oneShot := New(9)
+	drive(oneShot)
+	oneShot.RunUntil(60)
+
+	chunked := New(9)
+	drive(chunked)
+	for t := Time(7); t < 60; t += 7 {
+		chunked.RunUntil(t)
+	}
+	chunked.RunUntil(60)
+
+	if a, b := oneShot.ExportState(), chunked.ExportState(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("partitioned run diverged:\n%+v\n%+v", a, b)
+	}
+}

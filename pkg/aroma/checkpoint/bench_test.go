@@ -1,0 +1,58 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"aroma/internal/sim"
+	"aroma/pkg/aroma/checkpoint"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios"
+)
+
+// denseWorld builds the 500-radio concentration world and runs it to
+// the bench instant — the heaviest state the checkpoint layer handles
+// in the gated set.
+func denseWorld(b *testing.B) *scenario.Built {
+	b.Helper()
+	built, err := scenario.Build("densitysweep", scenario.Config{
+		Seed:    7,
+		Horizon: 200 * sim.Millisecond,
+		Params:  map[string]string{"radios": "500"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built.World.RunUntil(100 * sim.Millisecond)
+	return built
+}
+
+// BenchmarkCheckpointSnapshot measures serializing the dense-500 world:
+// canonical state export across every layer plus the JSON encoding.
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	built := denseWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.Snapshot(built.World); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore measures the full verified restore of the
+// dense-500 snapshot: rebuild from the recipe, replay to the snapshot
+// instant, and prove the replay (digest + byte-compared state export).
+func BenchmarkCheckpointRestore(b *testing.B) {
+	built := denseWorld(b)
+	data, err := checkpoint.Snapshot(built.World)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.RestoreBuilt(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

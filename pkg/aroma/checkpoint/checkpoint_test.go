@@ -1,0 +1,181 @@
+package checkpoint_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aroma/pkg/aroma/checkpoint"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios"
+)
+
+// The restore determinism contract, enforced for every registered
+// scenario at its classic seed (0) and at seeds 7 and 42: run to half
+// the horizon, snapshot, then (a) the snapshotted original and (b) the
+// restored copy must both reach the uninterrupted run's final digest.
+func TestSnapshotRoundTripAllScenarios(t *testing.T) {
+	names := scenario.BuildableNames()
+	if len(names) == 0 {
+		t.Fatal("no world-registered scenarios")
+	}
+	for _, reg := range scenario.Names() {
+		if !scenario.Buildable(reg) {
+			t.Errorf("scenario %q is not world-registered: it cannot be snapshotted", reg)
+		}
+	}
+	for _, name := range names {
+		for _, seed := range []int64{0, 7, 42} {
+			name, seed := name, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := scenario.Config{Seed: seed}
+
+				full, err := scenario.Build(name, cfg)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				full.World.RunUntil(full.Horizon)
+				want := full.World.Digest()
+
+				half, err := scenario.Build(name, cfg)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				half.World.RunUntil(half.Horizon / 2)
+				data, err := checkpoint.Snapshot(half.World)
+				if err != nil {
+					t.Fatalf("snapshot at t/2: %v", err)
+				}
+
+				// The snapshot must be a pure observation: the original
+				// continues to the uninterrupted digest.
+				half.World.RunUntil(half.Horizon)
+				if got := half.World.Digest(); got != want {
+					t.Errorf("snapshotted original diverged: %s, want %s", got, want)
+				}
+
+				// The restored copy picks up at t/2 and reaches the same
+				// final digest bit-for-bit.
+				restored, err := checkpoint.RestoreBuilt(data)
+				if err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if restored.World.Now() != half.Horizon/2 {
+					t.Errorf("restored world at %v, want %v", restored.World.Now(), half.Horizon/2)
+				}
+				restored.World.RunUntil(restored.Horizon)
+				if got := restored.World.Digest(); got != want {
+					t.Errorf("restored run diverged: %s, want %s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// Forks with different seeds diverge; forks with the same seed are
+// bit-identical; and a forked world is itself snapshottable (the fork
+// lineage replays).
+func TestForkDivergenceAndLineage(t *testing.T) {
+	base, err := scenario.Build("lab", scenario.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.World.RunUntil(base.Horizon / 2)
+	data, err := checkpoint.Snapshot(base.World)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runFork := func(seed int64) string {
+		t.Helper()
+		b, err := checkpoint.ForkBuilt(data, seed)
+		if err != nil {
+			t.Fatalf("fork seed=%d: %v", seed, err)
+		}
+		b.World.RunUntil(b.Horizon)
+		return b.World.Digest()
+	}
+	d101a, d101b, d202 := runFork(101), runFork(101), runFork(202)
+	if d101a != d101b {
+		t.Errorf("same-seed forks diverged: %s vs %s", d101a, d101b)
+	}
+	if d101a == d202 {
+		t.Errorf("different-seed forks did not diverge (both %s)", d101a)
+	}
+
+	// The unforked continuation is a third trajectory.
+	base.World.RunUntil(base.Horizon)
+	if got := base.World.Digest(); got == d101a || got == d202 {
+		t.Errorf("fork failed to diverge from the unforked run (%s)", got)
+	}
+
+	// Snapshot a fork mid-run; restoring it replays the lineage.
+	fork, err := checkpoint.ForkBuilt(data, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork.World.RunUntil(3 * fork.Horizon / 4)
+	forkData, err := checkpoint.Snapshot(fork.World)
+	if err != nil {
+		t.Fatalf("snapshot of fork: %v", err)
+	}
+	refork, err := checkpoint.RestoreBuilt(forkData)
+	if err != nil {
+		t.Fatalf("restore of forked snapshot: %v", err)
+	}
+	refork.World.RunUntil(refork.Horizon)
+	if got := refork.World.Digest(); got != d101a {
+		t.Errorf("restored fork diverged: %s, want %s", got, d101a)
+	}
+}
+
+// A snapshot of a world with no provenance must fail cleanly, and
+// corrupt data must not restore.
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := checkpoint.Restore([]byte("{")); err == nil {
+		t.Error("restore of garbage succeeded")
+	}
+	if _, err := checkpoint.Restore([]byte(`{"version":99}`)); err == nil {
+		t.Error("restore of wrong version succeeded")
+	}
+	b, err := scenario.Build("quickstart", scenario.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := checkpoint.Snapshot(b.World)
+	if err != nil {
+		t.Fatalf("snapshot of un-run world: %v", err)
+	}
+	if _, err := checkpoint.Restore(data); err != nil {
+		t.Errorf("restore of un-run world: %v", err)
+	}
+}
+
+// Decode exposes the recipe without paying for a replay.
+func TestDecode(t *testing.T) {
+	b, err := scenario.Build("densitysweep", scenario.Config{Seed: 7, Params: map[string]string{"radios": "20"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.World.RunUntil(b.Horizon / 4)
+	data, err := checkpoint.Snapshot(b.World)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := checkpoint.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Provenance.Scenario != "densitysweep" || img.Provenance.Seed != 7 {
+		t.Errorf("recipe = %+v", img.Provenance)
+	}
+	if img.Provenance.Params["radios"] != "20" {
+		t.Errorf("params = %v", img.Provenance.Params)
+	}
+	if img.Now != b.Horizon/4 {
+		t.Errorf("now = %v, want %v", img.Now, b.Horizon/4)
+	}
+	if img.Digest != b.World.Digest() {
+		t.Errorf("digest mismatch")
+	}
+}

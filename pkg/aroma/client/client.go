@@ -1,0 +1,336 @@
+// Package client is the thin Go client for the aromad daemon: typed
+// wrappers over the JSON API (see cmd/aromad and internal/daemon), plus
+// an SSE reader for the live trace stream. The daemon imports this
+// package for the wire types, so client and server cannot drift.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"aroma/internal/sim"
+)
+
+// Wire types. sim.Time is a time.Duration, so every duration field
+// travels as integer nanoseconds.
+
+// ScenarioInfo describes one registered scenario.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Buildable reports whether the scenario is world-registered — only
+	// buildable scenarios can be hosted, snapshotted, and forked.
+	Buildable bool `json:"buildable"`
+}
+
+// WorldInfo is the daemon's view of one hosted world.
+type WorldInfo struct {
+	ID       string   `json:"id"`
+	Scenario string   `json:"scenario"`
+	Seed     int64    `json:"seed"`
+	Now      sim.Time `json:"now"`
+	Horizon  sim.Time `json:"horizon"`
+	Steps    uint64   `json:"steps"`
+	Pending  int      `json:"pending"`
+	Forks    int      `json:"forks"`
+	Digest   string   `json:"digest"`
+}
+
+// CreateWorldRequest builds a new world from a registered scenario.
+type CreateWorldRequest struct {
+	// ID names the world; empty means the daemon assigns one.
+	ID string `json:"id,omitempty"`
+	// Scenario is a world-registered scenario name.
+	Scenario string `json:"scenario"`
+	// Seed, Horizon, Verbose, Params form the scenario.Config.
+	Seed    int64             `json:"seed,omitempty"`
+	Horizon sim.Time          `json:"horizon,omitempty"`
+	Verbose bool              `json:"verbose,omitempty"`
+	Params  map[string]string `json:"params,omitempty"`
+}
+
+// RunRequest advances a hosted world. Exactly one of the fields should
+// be set; an all-zero request steps a single event.
+type RunRequest struct {
+	// Events executes up to N earliest pending events.
+	Events int `json:"events,omitempty"`
+	// For advances the world by a relative duration.
+	For sim.Time `json:"for,omitempty"`
+	// Until advances the world to an absolute virtual time.
+	Until sim.Time `json:"until,omitempty"`
+	// ToHorizon advances the world to its scenario horizon.
+	ToHorizon bool `json:"to_horizon,omitempty"`
+}
+
+// ResultInfo is a hosted world's scenario result at the current instant.
+type ResultInfo struct {
+	Name       string             `json:"name"`
+	Seed       int64              `json:"seed"`
+	SimTime    sim.Time           `json:"sim_time"`
+	Steps      uint64             `json:"steps"`
+	Digest     string             `json:"digest"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Findings   int                `json:"findings"`
+	Issues     int                `json:"issues"`
+	Violations int                `json:"violations"`
+}
+
+// SnapshotRequest names a snapshot taken from a hosted world.
+type SnapshotRequest struct {
+	// Name keys the snapshot in the store; empty means the daemon
+	// derives one from the world ID.
+	Name string `json:"name,omitempty"`
+}
+
+// SnapshotInfo describes one stored snapshot.
+type SnapshotInfo struct {
+	Name     string   `json:"name"`
+	Scenario string   `json:"scenario"`
+	Now      sim.Time `json:"now"`
+	Digest   string   `json:"digest"`
+	Bytes    int      `json:"bytes"`
+}
+
+// RestoreRequest restores a stored snapshot into a new hosted world.
+type RestoreRequest struct {
+	// ID names the new world; empty means the daemon assigns one.
+	ID string `json:"id,omitempty"`
+}
+
+// ForkRequest forks a stored snapshot into a new hosted world whose
+// random stream restarts with Seed at the snapshot instant.
+type ForkRequest struct {
+	ID   string `json:"id,omitempty"`
+	Seed int64  `json:"seed"`
+}
+
+// Event is one trace event from the SSE stream.
+type Event struct {
+	At       sim.Time `json:"at"`
+	Layer    string   `json:"layer"`
+	Severity string   `json:"severity"`
+	Entity   string   `json:"entity"`
+	Message  string   `json:"message"`
+}
+
+// ErrorBody is the daemon's JSON error envelope.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// Client talks to one aromad daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7433"). A nil http.Client may be set later with
+// SetHTTPClient; the default client is used otherwise.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+}
+
+// SetHTTPClient replaces the underlying HTTP client (tests inject
+// httptest server clients here).
+func (c *Client) SetHTTPClient(h *http.Client) { c.http = h }
+
+// Scenarios lists the registered scenarios.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var out []ScenarioInfo
+	return out, c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out)
+}
+
+// CreateWorld builds a new hosted world.
+func (c *Client) CreateWorld(ctx context.Context, req CreateWorldRequest) (*WorldInfo, error) {
+	var out WorldInfo
+	return &out, c.do(ctx, http.MethodPost, "/v1/worlds", req, &out)
+}
+
+// Worlds lists the hosted worlds.
+func (c *Client) Worlds(ctx context.Context) ([]WorldInfo, error) {
+	var out []WorldInfo
+	return out, c.do(ctx, http.MethodGet, "/v1/worlds", nil, &out)
+}
+
+// World returns one hosted world's current info.
+func (c *Client) World(ctx context.Context, id string) (*WorldInfo, error) {
+	var out WorldInfo
+	return &out, c.do(ctx, http.MethodGet, "/v1/worlds/"+url.PathEscape(id), nil, &out)
+}
+
+// Run advances a hosted world per the request and returns its new info.
+func (c *Client) Run(ctx context.Context, id string, req RunRequest) (*WorldInfo, error) {
+	var out WorldInfo
+	return &out, c.do(ctx, http.MethodPost, "/v1/worlds/"+url.PathEscape(id)+"/run", req, &out)
+}
+
+// Step executes up to n earliest pending events (n <= 0 means 1).
+func (c *Client) Step(ctx context.Context, id string, n int) (*WorldInfo, error) {
+	return c.Run(ctx, id, RunRequest{Events: n})
+}
+
+// RunFor advances the world by d.
+func (c *Client) RunFor(ctx context.Context, id string, d sim.Time) (*WorldInfo, error) {
+	return c.Run(ctx, id, RunRequest{For: d})
+}
+
+// RunToHorizon advances the world to its scenario horizon.
+func (c *Client) RunToHorizon(ctx context.Context, id string) (*WorldInfo, error) {
+	return c.Run(ctx, id, RunRequest{ToHorizon: true})
+}
+
+// Result computes the world's scenario result at the current instant.
+func (c *Client) Result(ctx context.Context, id string) (*ResultInfo, error) {
+	var out ResultInfo
+	return &out, c.do(ctx, http.MethodGet, "/v1/worlds/"+url.PathEscape(id)+"/result", nil, &out)
+}
+
+// State returns the world's full canonical state export as raw JSON.
+func (c *Client) State(ctx context.Context, id string) (json.RawMessage, error) {
+	var out json.RawMessage
+	return out, c.do(ctx, http.MethodGet, "/v1/worlds/"+url.PathEscape(id)+"/state", nil, &out)
+}
+
+// DeleteWorld removes a hosted world.
+func (c *Client) DeleteWorld(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/worlds/"+url.PathEscape(id), nil, nil)
+}
+
+// Snapshot checkpoints a hosted world into the daemon's snapshot store.
+func (c *Client) Snapshot(ctx context.Context, id, name string) (*SnapshotInfo, error) {
+	var out SnapshotInfo
+	return &out, c.do(ctx, http.MethodPost, "/v1/worlds/"+url.PathEscape(id)+"/snapshot",
+		SnapshotRequest{Name: name}, &out)
+}
+
+// Snapshots lists the stored snapshots.
+func (c *Client) Snapshots(ctx context.Context) ([]SnapshotInfo, error) {
+	var out []SnapshotInfo
+	return out, c.do(ctx, http.MethodGet, "/v1/snapshots", nil, &out)
+}
+
+// SnapshotData downloads a stored snapshot's raw bytes — the same
+// format pkg/aroma/checkpoint reads, so an in-process
+// checkpoint.Restore of these bytes reproduces the daemon's world.
+func (c *Client) SnapshotData(ctx context.Context, name string) ([]byte, error) {
+	var out json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/snapshots/"+url.PathEscape(name), nil, &out)
+	return []byte(out), err
+}
+
+// DeleteSnapshot removes a stored snapshot.
+func (c *Client) DeleteSnapshot(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/snapshots/"+url.PathEscape(name), nil, nil)
+}
+
+// Restore restores a stored snapshot into a new hosted world.
+func (c *Client) Restore(ctx context.Context, snapshot, id string) (*WorldInfo, error) {
+	var out WorldInfo
+	return &out, c.do(ctx, http.MethodPost, "/v1/snapshots/"+url.PathEscape(snapshot)+"/restore",
+		RestoreRequest{ID: id}, &out)
+}
+
+// Fork forks a stored snapshot into a new hosted world reseeded with
+// seed at the snapshot instant.
+func (c *Client) Fork(ctx context.Context, snapshot, id string, seed int64) (*WorldInfo, error) {
+	var out WorldInfo
+	return &out, c.do(ctx, http.MethodPost, "/v1/snapshots/"+url.PathEscape(snapshot)+"/fork",
+		ForkRequest{ID: id, Seed: seed}, &out)
+}
+
+// StreamEvents opens the world's SSE trace stream at min severity
+// ("debug", "info", "issue", "violation"; empty means info) and invokes
+// fn for each event until ctx is cancelled, the world is deleted, or
+// the stream fails. It returns nil on a clean close (ctx cancel or
+// world deletion).
+func (c *Client) StreamEvents(ctx context.Context, id, min string, fn func(Event)) error {
+	u := c.base + "/v1/worlds/" + url.PathEscape(id) + "/events"
+	if min != "" {
+		u += "?min=" + url.QueryEscape(min)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // comments, event: lines, blank separators
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("client: bad SSE event %q: %w", data, err)
+		}
+		fn(ev)
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// do performs one JSON round-trip. A nil out discards the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into a Go error, preferring the
+// daemon's JSON envelope.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var eb ErrorBody
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("aromad: %s (HTTP %d)", eb.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("aromad: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}

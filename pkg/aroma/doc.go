@@ -81,5 +81,30 @@
 // retunes invalidate only caches whose 5-channel spectral overlap
 // window touches the old or new channel. WithGlobalRadioInvalidation
 // restores the coarse wipe-the-world behaviour as a benchmark and
-// cross-check reference.
+// cross-check reference.//
+// # Sim-as-a-service
+//
+// pkg/aroma/checkpoint serializes whole worlds. A snapshot holds the
+// world's build recipe (Provenance: scenario, config, fork lineage)
+// plus the canonical state export of every layer at the snapshot
+// instant. Restore replays the recipe — rebuild, run to the snapshot
+// time, re-apply any forks at their recorded instants — then proves
+// the replay by comparing digest and exported state byte-for-byte
+// against the snapshot. Pending kernel events hold Go closures, which
+// no serializer can capture; replay makes the checkpoint exact without
+// representing a closure on disk. Fork = restore + reseed: same-seed
+// forks stay bit-identical, different seeds diverge from the snapshot
+// instant on, and a forked world is itself snapshottable.
+//
+// sweep.Design.Snapshot turns a campaign into snapshot-forked
+// replications: every run restores the checkpoint and forks it with
+// its replication seed instead of rebuilding cold, so replications
+// share their pre-snapshot history and isolate post-fork variance.
+//
+// cmd/aromad hosts many concurrent worlds behind a JSON HTTP API with
+// live SSE trace streaming; each world runs behind its own command-loop
+// goroutine, preserving the single-threaded kernel invariant while
+// worlds step in parallel. pkg/aroma/client is the typed Go client,
+// and snapshot bytes downloaded from the daemon restore in-process to
+// the bit-identical world (and vice versa).
 package aroma

@@ -24,12 +24,12 @@ import (
 )
 
 func init() {
-	scenario.Register("densitysweep",
+	scenario.RegisterWorld("densitysweep",
 		"hundreds of beaconing radios across the band: PHY density stress at scale",
-		runDensitySweep)
+		buildDensitySweep)
 }
 
-func runDensitySweep(cfg scenario.Config) (*scenario.Result, error) {
+func buildDensitySweep(cfg scenario.Config) (*scenario.Built, error) {
 	// Sweepable axes (classic values when unset): radios, side (m),
 	// beacon (ms).
 	var (
@@ -90,29 +90,25 @@ func runDensitySweep(cfg scenario.Config) (*scenario.Result, error) {
 		})
 	}
 
-	w.RunFor(cfg.HorizonOr(aroma.Second))
-
-	med := w.Medium()
-	cfg.Printf("density sweep: %d radios on %d channels over %.0fx%.0f m\n",
-		med.Radios(), 11, sideM, sideM)
-	cfg.Printf("medium: %d frames sent, %d receipts delivered, %d lost to SINR\n",
-		med.Sent, med.Delivered, med.Lost)
-	cfg.Printf("probes heard: %d; %d kernel events in %s\n",
-		probesHeard, w.Kernel().Steps(), w.Now())
-	if cfg.Verbose {
-		lossPct := 0.0
-		if med.Delivered+med.Lost > 0 {
-			lossPct = 100 * float64(med.Lost) / float64(med.Delivered+med.Lost)
+	finish := func(res *scenario.Result) {
+		med := w.Medium()
+		cfg.Printf("density sweep: %d radios on %d channels over %.0fx%.0f m\n",
+			med.Radios(), 11, sideM, sideM)
+		cfg.Printf("medium: %d frames sent, %d receipts delivered, %d lost to SINR\n",
+			med.Sent, med.Delivered, med.Lost)
+		cfg.Printf("probes heard: %d; %d kernel events in %s\n",
+			probesHeard, w.Kernel().Steps(), w.Now())
+		if cfg.Verbose {
+			lossPct := 0.0
+			if med.Delivered+med.Lost > 0 {
+				lossPct = 100 * float64(med.Lost) / float64(med.Delivered+med.Lost)
+			}
+			cfg.Printf("receipt loss rate: %.1f%% (congestion collapse is the paper's C2 shape)\n", lossPct)
 		}
-		cfg.Printf("receipt loss rate: %.1f%% (congestion collapse is the paper's C2 shape)\n", lossPct)
+		res.Metric("sent", float64(med.Sent))
+		res.Metric("delivered", float64(med.Delivered))
+		res.Metric("lost", float64(med.Lost))
+		res.Metric("probes", float64(probesHeard))
 	}
-
-	res := &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(),
-	}
-	res.Metric("sent", float64(med.Sent))
-	res.Metric("delivered", float64(med.Delivered))
-	res.Metric("lost", float64(med.Lost))
-	res.Metric("probes", float64(probesHeard))
-	return res, nil
+	return &scenario.Built{World: w, Horizon: cfg.HorizonOr(aroma.Second), Finish: finish}, nil
 }

@@ -20,12 +20,12 @@ import (
 )
 
 func init() {
-	scenario.Register("lab",
+	scenario.RegisterWorld("lab",
 		"the full lab run: announce, register, discover, stream, hijack, reclaim",
-		runLab)
+		buildLab)
 }
 
-func runLab(cfg scenario.Config) (*scenario.Result, error) {
+func buildLab(cfg scenario.Config) (*scenario.Built, error) {
 	w := aroma.NewWorld(
 		aroma.WithName("aroma-lab-run"),
 		aroma.WithSeed(cfg.SeedOr(1)),
@@ -160,25 +160,23 @@ func runLab(cfg scenario.Config) (*scenario.Result, error) {
 		})
 	})
 
-	w.RunUntil(cfg.HorizonOr(6 * aroma.Minute))
+	finish := func(res *scenario.Result) {
+		say("simulation complete: projector showed %d frames, served %d commands", proj.FramesShown, proj.CommandsServed)
+		say("lookup registry: %d live registrations; medium: %d frames sent, %d lost",
+			lookup.Count(), w.Medium().Sent, w.Medium().Lost)
 
-	say("simulation complete: projector showed %d frames, served %d commands", proj.FramesShown, proj.CommandsServed)
-	say("lookup registry: %d live registrations; medium: %d frames sent, %d lost",
-		lookup.Count(), w.Medium().Sent, w.Medium().Lost)
+		if cfg.Verbose {
+			cfg.Println("\nFull trace:")
+			cfg.Printf("%s", w.Log().Render(trace.Info))
+		}
 
-	if cfg.Verbose {
-		cfg.Println("\nFull trace:")
-		cfg.Printf("%s", w.Log().Render(trace.Info))
+		// Fold the run into an LPC analysis: the projector's live state
+		// becomes its abstract layer, and the trace events are classified.
+		projDev.Entity().AppState = proj.AppState()
+		report := w.Analyze()
+		cfg.Println()
+		cfg.Println(report.Render())
+		res.Report = report
 	}
-
-	// Fold the run into an LPC analysis: the projector's live state
-	// becomes its abstract layer, and the trace events are classified.
-	projDev.Entity().AppState = proj.AppState()
-	report := w.Analyze()
-	cfg.Println()
-	cfg.Println(report.Render())
-
-	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: report,
-	}, nil
+	return &scenario.Built{World: w, Horizon: cfg.HorizonOr(6 * aroma.Minute), Finish: finish}, nil
 }

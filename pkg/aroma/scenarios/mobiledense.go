@@ -25,17 +25,27 @@ import (
 )
 
 func init() {
-	scenario.Register("mobiledense",
+	scenario.RegisterWorld("mobiledense",
 		"hundreds of random-waypoint radios: the mobile-dense PHY hot path",
-		func(cfg scenario.Config) (*scenario.Result, error) { return mobileDense(cfg) },
+		func(cfg scenario.Config) (*scenario.Built, error) { return buildMobileDense(cfg) },
 	)
 }
 
-// mobileDense builds and drives the mobile-dense world. The extra
-// options let the invalidation cross-check in the determinism suite run
-// the identical workload over alternative medium configurations
-// (WithGlobalRadioInvalidation, WithFullScanMedium).
+// mobileDense builds and drives the mobile-dense world to its horizon.
+// The extra options let the invalidation cross-check in the determinism
+// suite run the identical workload over alternative medium
+// configurations (WithGlobalRadioInvalidation, WithFullScanMedium).
 func mobileDense(cfg scenario.Config, extra ...aroma.Option) (*scenario.Result, error) {
+	b, err := buildMobileDense(cfg, extra...)
+	if err != nil {
+		return nil, err
+	}
+	b.World.RunUntil(b.Horizon)
+	return b.Result(), nil
+}
+
+// buildMobileDense assembles the mobile-dense world without running it.
+func buildMobileDense(cfg scenario.Config, extra ...aroma.Option) (*scenario.Built, error) {
 	// Sweepable axes (classic values when unset): radios, side (m),
 	// speed (m/s), beacon (ms).
 	var (
@@ -102,36 +112,32 @@ func mobileDense(cfg scenario.Config, extra ...aroma.Option) (*scenario.Result, 
 		})
 	}
 
-	w.RunFor(cfg.HorizonOr(2 * aroma.Second))
-
-	med := w.Medium()
-	legs := 0
-	for _, d := range w.Devices() {
-		if wd := d.Wanderer(); wd != nil {
-			legs += wd.Legs()
+	finish := func(res *scenario.Result) {
+		med := w.Medium()
+		legs := 0
+		for _, d := range w.Devices() {
+			if wd := d.Wanderer(); wd != nil {
+				legs += wd.Legs()
+			}
 		}
-	}
-	cfg.Printf("mobile dense: %d random-waypoint radios at %.1f m/s over %.0fx%.0f m\n",
-		med.Radios(), speedMPS, sideM, sideM)
-	cfg.Printf("medium: %d frames sent, %d receipts delivered, %d lost to SINR\n",
-		med.Sent, med.Delivered, med.Lost)
-	cfg.Printf("mobility: %d wander legs; probes heard: %d; %d kernel events in %s\n",
-		legs, probesHeard, w.Kernel().Steps(), w.Now())
-	if cfg.Verbose {
-		lossPct := 0.0
-		if med.Delivered+med.Lost > 0 {
-			lossPct = 100 * float64(med.Lost) / float64(med.Delivered+med.Lost)
+		cfg.Printf("mobile dense: %d random-waypoint radios at %.1f m/s over %.0fx%.0f m\n",
+			med.Radios(), speedMPS, sideM, sideM)
+		cfg.Printf("medium: %d frames sent, %d receipts delivered, %d lost to SINR\n",
+			med.Sent, med.Delivered, med.Lost)
+		cfg.Printf("mobility: %d wander legs; probes heard: %d; %d kernel events in %s\n",
+			legs, probesHeard, w.Kernel().Steps(), w.Now())
+		if cfg.Verbose {
+			lossPct := 0.0
+			if med.Delivered+med.Lost > 0 {
+				lossPct = 100 * float64(med.Lost) / float64(med.Delivered+med.Lost)
+			}
+			cfg.Printf("receipt loss rate: %.1f%% while everything moves\n", lossPct)
 		}
-		cfg.Printf("receipt loss rate: %.1f%% while everything moves\n", lossPct)
+		res.Metric("sent", float64(med.Sent))
+		res.Metric("delivered", float64(med.Delivered))
+		res.Metric("lost", float64(med.Lost))
+		res.Metric("probes", float64(probesHeard))
+		res.Metric("legs", float64(legs))
 	}
-
-	res := &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(),
-	}
-	res.Metric("sent", float64(med.Sent))
-	res.Metric("delivered", float64(med.Delivered))
-	res.Metric("lost", float64(med.Lost))
-	res.Metric("probes", float64(probesHeard))
-	res.Metric("legs", float64(legs))
-	return res, nil
+	return &scenario.Built{World: w, Horizon: cfg.HorizonOr(2 * aroma.Second), Finish: finish}, nil
 }

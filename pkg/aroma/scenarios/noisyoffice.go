@@ -18,12 +18,12 @@ import (
 )
 
 func init() {
-	scenario.Register("noisyoffice",
+	scenario.RegisterWorld("noisyoffice",
 		"voice control vs rising office noise: frustration to abandonment",
-		runNoisyOffice)
+		buildNoisyOffice)
 }
 
-func runNoisyOffice(cfg scenario.Config) (*scenario.Result, error) {
+func buildNoisyOffice(cfg scenario.Config) (*scenario.Built, error) {
 	// Cubicle partitions: thin, acoustically leaky.
 	plan := geo.NewFloorPlan(geo.RectAt(0, 0, 12, 8))
 	plan.AddWall(geo.Seg(geo.Pt(4, 0), geo.Pt(4, 5)), 3, 6)
@@ -72,70 +72,66 @@ func runNoisyOffice(cfg scenario.Config) (*scenario.Result, error) {
 	rng := w.Kernel().Rand()
 	u := dana.U()
 	conversations := []*env.NoiseSource{}
-	cut := false
+	// The office day, front-loaded as one scheduled event per hour
+	// (virtual time zero is 08:00). A shorter horizon simply never
+	// reaches the later hours; abandonment mutes them.
 	for hour := 8; hour <= 16; hour++ {
-		// The office fills up until lunch, empties after 15:00.
-		switch {
-		case hour <= 11:
-			// Each arriving conversation is a bit closer to dana's desk.
-			c := e.AddNoiseSource(fmt.Sprintf("chat-%d", hour),
-				aroma.Pt(9-float64(len(conversations)), 4), 62)
-			conversations = append(conversations, c)
-		case hour >= 15 && len(conversations) > 0:
-			e.RemoveNoiseSource(conversations[len(conversations)-1])
-			conversations = conversations[:len(conversations)-1]
-		}
-		snr := e.SpeechSNRDB(u.Pos, mic, u.Physiology.SpeechLevelDB)
-		p := env.RecognitionSuccessProbability(snr)
-		ok, fail := 0, 0
-		for i := 0; i < 10 && !u.Abandoned(); i++ {
-			if rng.Float64() < p {
-				ok++
-			} else {
-				fail++
-				// A misrecognized command is a small frustration; having
-				// to repeat yourself in front of colleagues is worse.
-				u.Frustrate(0.05, fmt.Sprintf("misrecognized command at %02d:00", hour))
+		hour := hour
+		w.Schedule(aroma.Time(hour-8)*aroma.Hour, "office-hour", func() {
+			if u.Abandoned() {
+				return // dana is gone; the office day goes on without her
 			}
-		}
-		cfg.Printf("  %02d:00  conversations=%d  SNR=%5.1f dB  p=%.2f  ok=%2d fail=%2d  frustration=%.2f\n",
-			hour, len(conversations), snr, p, ok, fail, u.Frustration())
-		step := aroma.Hour
-		if h := cfg.Horizon; h > 0 && h > w.Now() && h-w.Now() < step {
-			step = h - w.Now() // don't overshoot the horizon
-		}
-		w.RunFor(step)
-		if u.Abandoned() {
-			break
-		}
-		if h := cfg.Horizon; h > 0 && w.Now() >= h {
-			cfg.Printf("  (horizon %v reached; cutting the office day short)\n", h)
-			cut = true
-			break
-		}
+			// The office fills up until lunch, empties after 15:00.
+			switch {
+			case hour <= 11:
+				// Each arriving conversation is a bit closer to dana's desk.
+				c := e.AddNoiseSource(fmt.Sprintf("chat-%d", hour),
+					aroma.Pt(9-float64(len(conversations)), 4), 62)
+				conversations = append(conversations, c)
+			case hour >= 15 && len(conversations) > 0:
+				e.RemoveNoiseSource(conversations[len(conversations)-1])
+				conversations = conversations[:len(conversations)-1]
+			}
+			snr := e.SpeechSNRDB(u.Pos, mic, u.Physiology.SpeechLevelDB)
+			p := env.RecognitionSuccessProbability(snr)
+			ok, fail := 0, 0
+			for i := 0; i < 10 && !u.Abandoned(); i++ {
+				if rng.Float64() < p {
+					ok++
+				} else {
+					fail++
+					// A misrecognized command is a small frustration; having
+					// to repeat yourself in front of colleagues is worse.
+					u.Frustrate(0.05, fmt.Sprintf("misrecognized command at %02d:00", hour))
+				}
+			}
+			cfg.Printf("  %02d:00  conversations=%d  SNR=%5.1f dB  p=%.2f  ok=%2d fail=%2d  frustration=%.2f\n",
+				hour, len(conversations), snr, p, ok, fail, u.Frustration())
+		})
 	}
 
-	if !u.Abandoned() && !cut {
-		cfg.Println("dana made it through the day — a quieter office (or a better mic) would too")
+	finish := func(res *scenario.Result) {
+		if !u.Abandoned() {
+			cfg.Println("dana made it through the day — a quieter office (or a better mic) would too")
+		}
+
+		// The LPC analyzer sees the same story: with the office still in its
+		// end-of-day state, the environment layer checks dana's voice path.
+		report := w.Analyze()
+		if cfg.Verbose {
+			cfg.Println()
+			cfg.Println(report.Render())
+		}
+
+		cfg.Println("\nand the social inverse: even with perfect recognition, dana talking to a")
+		cfg.Println("machine all day raises the ambient level for everyone else's cubicle:")
+		coworker := aroma.Pt(5, 2) // the other side of the partition
+		before := e.AmbientNoiseDB(coworker)
+		danaSrc := e.AddNoiseSource("dana-voice-commands", u.Pos, u.Physiology.SpeechLevelDB)
+		after := e.AmbientNoiseDB(coworker)
+		e.RemoveNoiseSource(danaSrc) // leave the world as found: Finish must be re-runnable
+		cfg.Printf("coworker's noise floor: %.1f dB -> %.1f dB once dana starts dictating\n", before, after)
+		res.Report = report
 	}
-
-	// The LPC analyzer sees the same story: with the office still in its
-	// end-of-day state, the environment layer checks dana's voice path.
-	report := w.Analyze()
-	if cfg.Verbose {
-		cfg.Println()
-		cfg.Println(report.Render())
-	}
-
-	cfg.Println("\nand the social inverse: even with perfect recognition, dana talking to a")
-	cfg.Println("machine all day raises the ambient level for everyone else's cubicle:")
-	coworker := aroma.Pt(5, 2) // the other side of the partition
-	before := e.AmbientNoiseDB(coworker)
-	e.AddNoiseSource("dana-voice-commands", u.Pos, u.Physiology.SpeechLevelDB)
-	after := e.AmbientNoiseDB(coworker)
-	cfg.Printf("coworker's noise floor: %.1f dB -> %.1f dB once dana starts dictating\n", before, after)
-
-	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: report,
-	}, nil
+	return &scenario.Built{World: w, Horizon: cfg.HorizonOr(9 * aroma.Hour), Finish: finish}, nil
 }

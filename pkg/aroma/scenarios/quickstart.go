@@ -13,12 +13,12 @@ import (
 )
 
 func init() {
-	scenario.Register("quickstart",
+	scenario.RegisterWorld("quickstart",
 		"smart kettle, two audiences: the 10-line LPC analysis demo",
-		runQuickstart)
+		buildQuickstart)
 }
 
-func runQuickstart(cfg scenario.Config) (*scenario.Result, error) {
+func buildQuickstart(cfg scenario.Config) (*scenario.Built, error) {
 	w := aroma.NewWorld(
 		aroma.WithName("smart-kettle"),
 		aroma.WithSeed(cfg.SeedOr(1)),
@@ -61,19 +61,19 @@ func runQuickstart(cfg scenario.Config) (*scenario.Result, error) {
 		aroma.Operating("smart-kettle"),
 	)
 
-	report := w.Analyze()
-	cfg.Println(core.RenderFigure1())
-	cfg.Println(report.Render())
+	finish := func(res *scenario.Result) {
+		report := w.Analyze()
+		cfg.Println(core.RenderFigure1())
+		cfg.Println(report.Render())
 
-	// The same analysis without the user column — the OSI-style view the
-	// paper argues is blind to what actually dooms appliances.
-	ablated := w.Analyze(core.WithoutUserColumn())
-	cfg.Printf("Without the user column the analyzer sees %d findings instead of %d;\n",
-		len(ablated.Findings), len(report.Findings))
-	cfg.Printf("every violation it misses involves the human: %d vs %d.\n",
-		len(ablated.Violations()), len(report.Violations()))
-
-	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: report,
-	}, nil
+		// The same analysis without the user column — the OSI-style view the
+		// paper argues is blind to what actually dooms appliances.
+		ablated := w.Analyze(core.WithoutUserColumn())
+		cfg.Printf("Without the user column the analyzer sees %d findings instead of %d;\n",
+			len(ablated.Findings), len(report.Findings))
+		cfg.Printf("every violation it misses involves the human: %d vs %d.\n",
+			len(ablated.Violations()), len(report.Violations()))
+		res.Report = report
+	}
+	return &scenario.Built{World: w, Finish: finish}, nil
 }

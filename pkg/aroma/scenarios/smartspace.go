@@ -16,12 +16,12 @@ import (
 )
 
 func init() {
-	scenario.Register("smartspace",
+	scenario.RegisterWorld("smartspace",
 		"a room of appliances: dynamic discovery, lease self-cleaning, band load",
-		runSmartSpace)
+		buildSmartSpace)
 }
 
-func runSmartSpace(cfg scenario.Config) (*scenario.Result, error) {
+func buildSmartSpace(cfg scenario.Config) (*scenario.Built, error) {
 	w := aroma.NewWorld(
 		aroma.WithName("smart-space"),
 		aroma.WithSeed(cfg.SeedOr(7)),
@@ -35,13 +35,13 @@ func runSmartSpace(cfg scenario.Config) (*scenario.Result, error) {
 	panel.Agent().OnEvent = func(ev discovery.Event) {
 		cfg.Printf("[%8s] panel: %s %q (%s)\n", w.Now(), ev.Kind, ev.Item.Name, ev.Item.Type)
 	}
-	w.RunUntil(aroma.Second)
-	panel.Agent().Subscribe(discovery.Template{}, 10*aroma.Minute, func(id uint64, err error) {
-		if err != nil {
-			panic(err)
-		}
+	w.Schedule(aroma.Second, "panel-subscribe", func() {
+		panel.Agent().Subscribe(discovery.Template{}, 10*aroma.Minute, func(id uint64, err error) {
+			if err != nil {
+				panic(err)
+			}
+		})
 	})
-	w.RunUntil(2 * aroma.Second)
 
 	// Appliances power on over the first minute: lights, sensors, a
 	// printer, a coffee maker...
@@ -49,7 +49,7 @@ func runSmartSpace(cfg scenario.Config) (*scenario.Result, error) {
 	registrations := make(map[string]*discovery.Registration)
 	for i, kind := range kinds {
 		i, kind := i, kind
-		w.Schedule(aroma.Time(i+1)*5*aroma.Second, "poweron", func() {
+		w.Schedule(2*aroma.Second+aroma.Time(i+1)*5*aroma.Second, "poweron", func() {
 			pos := aroma.Pt(float64(5+4*i%30), float64(5+(i*9)%30))
 			dev := w.AddDevice(kind, pos, aroma.WithSpec(aroma.AdapterSpec()))
 			agent := dev.Agent()
@@ -70,32 +70,33 @@ func runSmartSpace(cfg scenario.Config) (*scenario.Result, error) {
 			}
 		})
 	}
-	w.RunUntil(aroma.Minute)
-	cfg.Printf("[%8s] registry holds %d services\n", w.Now(), lookup.Count())
-
-	// A client queries by type.
-	panel.Agent().Lookup(discovery.Template{Type: "printer"}, func(items []discovery.Item, err error) {
-		if err == nil {
-			cfg.Printf("[%8s] panel finds %d printer(s)\n", w.Now(), len(items))
-		}
+	// A client queries by type once the room has settled.
+	w.Schedule(aroma.Minute, "panel-query", func() {
+		cfg.Printf("[%8s] registry holds %d services\n", w.Now(), lookup.Count())
+		panel.Agent().Lookup(discovery.Template{Type: "printer"}, func(items []discovery.Item, err error) {
+			if err == nil {
+				cfg.Printf("[%8s] panel finds %d printer(s)\n", w.Now(), len(items))
+			}
+		})
 	})
-	w.RunUntil(aroma.Minute + 5*aroma.Second)
 
 	// The coffee maker crashes (stops renewing); the registry self-heals
 	// within one lease period — no administrator.
-	if r := registrations["coffee-maker"]; r != nil {
-		r.StopAutoRenew()
-		cfg.Printf("[%8s] coffee-maker crashes (renewals stop)\n", w.Now())
+	w.Schedule(aroma.Minute+5*aroma.Second, "coffee-crash", func() {
+		if r := registrations["coffee-maker"]; r != nil {
+			r.StopAutoRenew()
+			cfg.Printf("[%8s] coffee-maker crashes (renewals stop)\n", w.Now())
+		}
+	})
+
+	finish := func(res *scenario.Result) {
+		cfg.Printf("[%8s] registry holds %d services after self-cleaning\n", w.Now(), lookup.Count())
+
+		// Band concentration: how busy did the shared channel get?
+		med := w.Medium()
+		cfg.Printf("medium totals: %d frames sent, %d delivered, %d lost to the shared band\n",
+			med.Sent, med.Delivered, med.Lost)
+		res.Report = w.Analyze()
 	}
-	w.RunUntil(cfg.HorizonOr(2 * aroma.Minute))
-	cfg.Printf("[%8s] registry holds %d services after self-cleaning\n", w.Now(), lookup.Count())
-
-	// Band concentration: how busy did the shared channel get?
-	med := w.Medium()
-	cfg.Printf("medium totals: %d frames sent, %d delivered, %d lost to the shared band\n",
-		med.Sent, med.Delivered, med.Lost)
-
-	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: w.Analyze(),
-	}, nil
+	return &scenario.Built{World: w, Horizon: cfg.HorizonOr(2 * aroma.Minute), Finish: finish}, nil
 }

@@ -18,12 +18,12 @@ import (
 )
 
 func init() {
-	scenario.Register("walkabout",
+	scenario.RegisterWorld("walkabout",
 		"presenter wanders off: rate adaptation, range edge, session reclaim",
-		runWalkabout)
+		buildWalkabout)
 }
 
-func runWalkabout(cfg scenario.Config) (*scenario.Result, error) {
+func buildWalkabout(cfg scenario.Config) (*scenario.Built, error) {
 	w := aroma.NewWorld(
 		aroma.WithName("walkabout"),
 		aroma.WithSeed(cfg.SeedOr(11)),
@@ -40,36 +40,39 @@ func runWalkabout(cfg scenario.Config) (*scenario.Result, error) {
 	aliceDev := w.AddDevice("alice", aroma.Pt(20, 30), aroma.WithSpec(aroma.LaptopSpec()))
 	alice := projector.NewPresenter("alice", aliceDev.Node(), aliceDev.Agent())
 
-	w.RunUntil(aroma.Second)
-	proj.Register(nil)
-	w.RunUntil(3 * aroma.Second)
-	must(alice.StartVNC(640, 480, rfb.EncRLE))
-	alice.Discover(func(err error) { must(err) })
-	w.RunUntil(4 * aroma.Second)
-	alice.GrabProjection(func(err error) { must(err) })
-	w.RunUntil(5 * aroma.Second)
+	w.Schedule(aroma.Second, "register", func() { proj.Register(nil) })
+	w.Schedule(3*aroma.Second, "alice-setup", func() {
+		must(alice.StartVNC(640, 480, rfb.EncRLE))
+		alice.Discover(func(err error) { must(err) })
+	})
+	w.Schedule(4*aroma.Second, "alice-grab", func() {
+		alice.GrabProjection(func(err error) { must(err) })
+	})
 
-	anim, err := rfb.NewAnimator(alice.VNC.Framebuffer(), 0.05)
-	if err != nil {
-		return nil, err
-	}
-	anim.Textured = true
-	w.Ticker(100*aroma.Millisecond, "anim", anim.Step)
+	w.Schedule(5*aroma.Second, "walk-off", func() {
+		anim, err := rfb.NewAnimator(alice.VNC.Framebuffer(), 0.05)
+		must(err)
+		anim.Textured = true
+		w.Ticker(100*aroma.Millisecond, "anim", anim.Step)
 
-	// The walkabout: down the corridor, around the far wing, and out.
-	// The facade's SetPos keeps the radio and model entity in sync.
-	walk := mobility.Patrol([]aroma.Point{
-		aroma.Pt(20, 30), aroma.Pt(150, 30), aroma.Pt(330, 30), aroma.Pt(330, 10),
-	}, 3.0)
-	walk.Waypoints = walk.Waypoints[:len(walk.Waypoints)-1] // don't come back
-	mobility.Start(w.Kernel(), walk, 500*aroma.Millisecond, aliceDev.SetPos)
+		// The walkabout: down the corridor, around the far wing, and out.
+		// The facade's SetPos keeps the radio and model entity in sync.
+		walk := mobility.Patrol([]aroma.Point{
+			aroma.Pt(20, 30), aroma.Pt(150, 30), aroma.Pt(330, 30), aroma.Pt(330, 10),
+		}, 3.0)
+		walk.Waypoints = walk.Waypoints[:len(walk.Waypoints)-1] // don't come back
+		mobility.Start(w.Kernel(), walk, 500*aroma.Millisecond, aliceDev.SetPos)
+	})
 
+	// A monitor ticker narrates the decay every 15 s. It only observes —
+	// the run always plays to the horizon, and once the session has been
+	// reclaimed and the story told, the monitor goes quiet.
 	cfg.Println("time     distance  SNR(dB)  rate(Mb/s)  frames-in-window  session")
-	horizon := cfg.HorizonOr(4 * aroma.Minute)
 	med := w.Medium()
 	prev := uint64(0)
-	for i := 0; w.Now() < horizon; i++ {
-		w.RunFor(15 * aroma.Second)
+	i := 0
+	var stopMonitor func()
+	stopMonitor = w.Ticker(15*aroma.Second, "monitor", func() {
 		dist := aliceDev.Pos().Dist(projDev.Pos())
 		snr := med.SNRAtDBm(aliceDev.Radio(), projDev.Radio())
 		rate := 0.0
@@ -84,15 +87,18 @@ func runWalkabout(cfg scenario.Config) (*scenario.Result, error) {
 			w.Now(), dist, snr, rate, proj.FramesShown-prev, holder)
 		prev = proj.FramesShown
 		if !proj.Projection.Held() && i > 4 {
-			break
+			stopMonitor()
 		}
-	}
-	cfg.Printf("\nprojector showed %d frames total; session end events in trace: %d\n",
-		proj.FramesShown, len(w.Log().BySeverity(trace.Issue)))
-	cfg.Println("no component failed — the environment reclaimed the system's semantics")
+		i++
+	})
 
-	projDev.Entity().AppState = proj.AppState()
-	return &scenario.Result{
-		Seed: w.Seed(), SimTime: w.Now(), Steps: w.Kernel().Steps(), Digest: w.Digest(), Report: w.Analyze(),
-	}, nil
+	finish := func(res *scenario.Result) {
+		cfg.Printf("\nprojector showed %d frames total; session end events in trace: %d\n",
+			proj.FramesShown, len(w.Log().BySeverity(trace.Issue)))
+		cfg.Println("no component failed — the environment reclaimed the system's semantics")
+
+		projDev.Entity().AppState = proj.AppState()
+		res.Report = w.Analyze()
+	}
+	return &scenario.Built{World: w, Horizon: cfg.HorizonOr(4 * aroma.Minute), Finish: finish}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"aroma/internal/sim"
+	"aroma/pkg/aroma/checkpoint"
 	"aroma/pkg/aroma/scenario"
 )
 
@@ -92,6 +93,18 @@ type Design struct {
 	// Horizon and Verbose pass through to every run's scenario.Config.
 	Horizon sim.Time
 	Verbose bool
+
+	// Snapshot, when non-nil, is a pkg/aroma/checkpoint image and turns
+	// the campaign into snapshot-forked replications: instead of a cold
+	// build, every replication restores the snapshot and forks it with
+	// its seed (restore + reseed at the snapshot instant), then runs to
+	// the horizon. The replications share their entire history up to the
+	// snapshot and diverge only in post-fork randomness — warm-start
+	// variance isolation. Func must be nil and Axes empty (the world is
+	// already built; only the seed can vary); Scenario, if empty, is
+	// labeled from the snapshot's recipe. Horizon 0 means the snapshot's
+	// scenario horizon.
+	Snapshot []byte
 }
 
 // Cell is one point of the parameter grid.
@@ -177,12 +190,31 @@ func (d *Design) Cells() []Cell {
 // no duplicates, and a derived seed range never crosses the reserved
 // seed 0.
 func (d *Design) Validate() error {
-	switch {
-	case d.Scenario == "" && d.Func == nil:
-		return fmt.Errorf("sweep: design needs a Scenario name or a Func")
-	case d.Scenario != "" && d.Func == nil:
-		if _, ok := scenario.Get(d.Scenario); !ok {
-			return fmt.Errorf("sweep: unknown scenario %q (registered: %v)", d.Scenario, scenario.Names())
+	if d.Snapshot != nil {
+		// Snapshot-forked mode: the snapshot is the workload; Scenario is
+		// only a label. The image must decode and its recipe must be
+		// rebuildable here, or every replication would fail identically.
+		if d.Func != nil {
+			return fmt.Errorf("sweep: Snapshot and Func are mutually exclusive")
+		}
+		if len(d.Axes) > 0 {
+			return fmt.Errorf("sweep: a snapshot-forked campaign cannot have axes — the world is already built, only seeds vary")
+		}
+		img, err := checkpoint.Decode(d.Snapshot)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if !scenario.Buildable(img.Provenance.Scenario) {
+			return fmt.Errorf("sweep: snapshot scenario %q is not world-registered here", img.Provenance.Scenario)
+		}
+	} else {
+		switch {
+		case d.Scenario == "" && d.Func == nil:
+			return fmt.Errorf("sweep: design needs a Scenario name, a Func, or a Snapshot")
+		case d.Scenario != "" && d.Func == nil:
+			if _, ok := scenario.Get(d.Scenario); !ok {
+				return fmt.Errorf("sweep: unknown scenario %q (registered: %v)", d.Scenario, scenario.Names())
+			}
 		}
 	}
 	seen := make(map[string]bool, len(d.Axes))

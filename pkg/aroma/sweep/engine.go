@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aroma/internal/metrics"
+	"aroma/pkg/aroma/checkpoint"
 	"aroma/pkg/aroma/scenario"
 )
 
@@ -50,6 +51,13 @@ type Sweep struct {
 func New(d Design, opts ...Option) (*Sweep, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
+	}
+	if d.Snapshot != nil && d.Scenario == "" {
+		// Label the campaign from the snapshot's recipe (Validate just
+		// proved it decodes).
+		if img, err := checkpoint.Decode(d.Snapshot); err == nil {
+			d.Scenario = img.Provenance.Scenario + "+fork"
+		}
 	}
 	s := &Sweep{design: d, cells: d.Cells(), seeds: d.seeds()}
 	for _, opt := range opts {
@@ -191,13 +199,37 @@ func (s *Sweep) runOne(ti int) Row {
 	return row
 }
 
-// call dispatches to the registry or to the design's direct Func; both
-// paths share scenario.Exec's recovery and defaulting contract.
+// call dispatches to the snapshot fork source, the registry, or the
+// design's direct Func; all paths share scenario.Exec's recovery and
+// defaulting contract.
 func (s *Sweep) call(cfg scenario.Config) (*scenario.Result, error) {
-	if s.design.Func == nil {
+	switch {
+	case s.design.Snapshot != nil:
+		return scenario.Exec(s.design.Name(), s.runForked, cfg)
+	case s.design.Func == nil:
 		return scenario.Run(s.design.Scenario, cfg)
+	default:
+		return scenario.Exec(s.design.Name(), s.design.Func, cfg)
 	}
-	return scenario.Exec(s.design.Name(), s.design.Func, cfg)
+}
+
+// runForked is the snapshot-mode run: every replication restores the
+// design's checkpoint, reseeds it with the replication's seed at the
+// snapshot instant (checkpoint.ForkBuilt — restore is verified
+// bit-identical before the fork), and runs the warm world to the
+// horizon. Replications therefore share their whole pre-snapshot
+// history and differ only in post-fork randomness.
+func (s *Sweep) runForked(cfg scenario.Config) (*scenario.Result, error) {
+	b, err := checkpoint.ForkBuilt(s.design.Snapshot, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	horizon := b.Horizon
+	if cfg.Horizon != 0 {
+		horizon = cfg.Horizon
+	}
+	b.World.RunUntil(horizon)
+	return b.Result(), nil
 }
 
 // buildReport folds completed rows, in task order, into per-cell

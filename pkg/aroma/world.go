@@ -38,6 +38,10 @@ type World struct {
 	users   []*User
 	lookups []*Lookup
 	links   []core.Link
+
+	// prov, when set, is the world's build recipe (see Provenance) —
+	// the key that makes the world snapshottable.
+	prov *Provenance
 }
 
 // NewWorld assembles a world from functional options.

@@ -33,10 +33,14 @@ echo "== radio medium, dense + mobile (count=$count, benchtime=$benchtime)"
 go test -run '^$' -bench 'BenchmarkMediumDense' -benchmem \
     -count "$count" -benchtime "$benchtime" ./internal/radio/ | tee -a "$tmp"
 
+echo "== checkpoint snapshot/restore, dense-500 (count=$count, benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkCheckpoint' -benchmem \
+    -count "$count" -benchtime "$benchtime" ./pkg/aroma/checkpoint/ | tee -a "$tmp"
+
 if [[ "${SKIP_ROOT:-0}" != 1 ]]; then
     echo "== root figure/claim benchmarks (one shot each)"
     go test -run '^$' -bench '.' -benchmem -benchtime 1x . | tee -a "$tmp"
 fi
 
 go run ./cmd/benchgate -emit "$out" -in "$tmp" \
-    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*"
+    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*, BenchmarkCheckpoint*"
