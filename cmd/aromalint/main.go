@@ -1,0 +1,166 @@
+// Command aromalint runs the simulator's invariant analyzers: the
+// determinism, hot-path, and checkpoint rules that World.Digest()
+// regression suites can only catch after the fact are rejected here at
+// analysis time. See internal/analysis for the framework and the
+// individual analyzer packages for each rule.
+//
+// Two modes share one binary:
+//
+//	aromalint ./...                          # standalone, like staticcheck
+//	go vet -vettool=$(pwd)/bin/aromalint ./... # under the go command
+//
+// Standalone mode loads packages itself via `go list -export`; vettool
+// mode implements the go command's unitchecker protocol (-V=full,
+// -flags, and a JSON .cfg file per compilation unit), so `go vet`
+// drives and caches it like any other vet tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"aroma/internal/analysis"
+	"aroma/internal/analysis/load"
+	"aroma/internal/analysis/suite"
+)
+
+func main() {
+	// The go command probes vettools before handing them work; these
+	// must be handled before normal flag parsing.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			printFlags()
+			return
+		}
+	}
+
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	enabled := analyzerFlags()
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aromalint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range suite.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := selectAnalyzers(enabled, *only)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		// go vet handed us a compilation unit (possibly after
+		// analyzer-selection flags).
+		os.Exit(runUnit(patterns[0], analyzers))
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(patterns, analyzers))
+}
+
+// analyzerFlags registers one bool flag per analyzer (-maprange=false
+// disables it), matching how go vet exposes its checks.
+func analyzerFlags() map[string]*bool {
+	enabled := make(map[string]*bool)
+	for _, a := range suite.Analyzers() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	return enabled
+}
+
+func selectAnalyzers(enabled map[string]*bool, only string) []*analysis.Analyzer {
+	want := map[string]bool{}
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite.Analyzers() {
+		if len(want) > 0 && !want[a.Name] {
+			continue
+		}
+		if on := enabled[a.Name]; on != nil && !*on {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// runStandalone loads, analyzes, and prints diagnostics; the exit
+// code is 1 if anything fired.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aromalint:", err)
+		return 2
+	}
+	type finding struct {
+		pos      string
+		analyzer string
+		msg      string
+	}
+	var findings []finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, finding{
+					pos:      p.Fset.Position(d.Pos).String(),
+					analyzer: a.Name,
+					msg:      d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "aromalint: %s: %s: %v\n", a.Name, p.ImportPath, err)
+				return 2
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].analyzer < findings[j].analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "aromalint: %d invariant violation(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,176 @@
+package main
+
+// The go command's vettool protocol, reimplemented on the standard
+// library (the canonical implementation lives in x/tools'
+// unitchecker, which cannot be fetched offline). The contract, from
+// cmd/go/internal/{vet,work}:
+//
+//   - `tool -flags` prints a JSON array of {Name,Bool,Usage} so go vet
+//     can accept the tool's flags on its own command line.
+//   - `tool -V=full` prints "<name> version <version>..." used as the
+//     build-cache key; it must change when the tool's behavior does,
+//     so we hash the executable itself.
+//   - `tool <unit>.cfg` analyzes one compilation unit described by a
+//     JSON config: file list, import map, and compiler export-data
+//     paths for every dependency. Diagnostics go to stderr as
+//     "pos: message"; exit status 1 reports findings; the tool may
+//     write an (empty, for us — the analyzers keep no cross-package
+//     facts) "vetx" facts file at VetxOutput for go vet to cache.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"aroma/internal/analysis"
+	"aroma/internal/analysis/load"
+	"aroma/internal/analysis/suite"
+)
+
+// unitConfig mirrors the fields of cmd/go's vetConfig that we consume.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func printVersion() {
+	// Hash the binary so the go command's vet cache invalidates when
+	// the analyzers change.
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("aromalint version 1 sum %x\n", h.Sum(nil)[:12])
+}
+
+func printFlags() {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []flagDesc
+	for _, a := range suiteNames() {
+		out = append(out, flagDesc{Name: a, Bool: true, Usage: "enable the " + a + " analyzer"})
+	}
+	json.NewEncoder(os.Stdout).Encode(out)
+}
+
+// runUnit analyzes one compilation unit per the vettool protocol and
+// returns the process exit code.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aromalint:", err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "aromalint: decoding %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// Always leave a (possibly empty) facts file so go vet can cache
+	// the unit; written before analysis so VetxOnly runs of dependency
+	// packages stay cheap.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "aromalint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependencies are analyzed only for facts; we keep none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "aromalint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if resolved, ok := cfg.ImportMap[importPath]; ok {
+			importPath = resolved
+		}
+		return compImp.Import(importPath)
+	})
+
+	info := load.NewInfo()
+	tconf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "aromalint:", err)
+		return 2
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), name, d.Message)
+			exit = 1
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "aromalint: %s: %s: %v\n", name, cfg.ImportPath, err)
+			return 2
+		}
+	}
+	return exit
+}
+
+func suiteNames() []string {
+	var names []string
+	for _, a := range suite.Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

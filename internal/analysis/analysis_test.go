@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f(m map[int]int) {
+	//aroma:ordered keys only; sorted below
+	for k := range m {
+		_ = k
+	}
+	x := 1 //aroma:realtime trailing form
+	_ = x
+	//aroma:noexport
+	_ = m
+}
+`
+
+func parseSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, f := parseSrc(t)
+	ds := parseDirectives(fset, f)
+	want := []struct {
+		name, reason string
+		line         int
+	}{
+		// A directive alone on its line governs the line below.
+		{"ordered", "keys only; sorted below", 5},
+		// A trailing directive governs its own line.
+		{"realtime", "trailing form", 8},
+		// No reason parses (the hygiene analyzer rejects it later).
+		{"noexport", "", 11},
+	}
+	if len(ds) != len(want) {
+		t.Fatalf("got %d directives, want %d: %+v", len(ds), len(want), ds)
+	}
+	for i, w := range want {
+		d := ds[i]
+		if d.Name != w.name || d.Reason != w.reason || d.Line != w.line {
+			t.Errorf("directive %d = {%s %q line %d}, want {%s %q line %d}",
+				i, d.Name, d.Reason, d.Line, w.name, w.reason, w.line)
+		}
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	fset, f := parseSrc(t)
+	p := &Pass{Fset: fset, Files: []*ast.File{f}}
+
+	var rng *ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rng = r
+		}
+		return true
+	})
+	if rng == nil {
+		t.Fatal("no range statement in fixture")
+	}
+	if !p.Suppressed("ordered", rng.Pos()) {
+		t.Error("range under a justified //aroma:ordered should be suppressed")
+	}
+	if p.Suppressed("realtime", rng.Pos()) {
+		t.Error("a different rule's directive must not suppress")
+	}
+
+	// The reasonless //aroma:noexport governs the final statement but
+	// must not suppress.
+	last := f.Decls[0].(*ast.FuncDecl).Body.List
+	pos := last[len(last)-1].Pos()
+	if p.Suppressed("noexport", pos) {
+		t.Error("a directive without a reason must not suppress")
+	}
+}
+
+func TestMatchPath(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"aroma/internal/sim", "aroma/internal/sim", true},
+		{"aroma/internal/simx", "aroma/internal/sim", false},
+		{"aroma/cmd/aromad", "aroma/cmd/...", true},
+		{"aroma/cmd", "aroma/cmd/...", true},
+		{"aroma/cmdx", "aroma/cmd/...", false},
+		{"aroma", "aroma/...", true},
+	}
+	for _, c := range cases {
+		if got := MatchPath(c.path, c.pattern); got != c.want {
+			t.Errorf("MatchPath(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}

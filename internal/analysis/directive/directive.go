@@ -1,0 +1,40 @@
+// Package directive keeps the escape hatches honest. Every other
+// analyzer in the suite can be silenced by an //aroma:<rule> comment;
+// this one audits the comments themselves: an unknown rule name (a
+// typo that would silently fail to suppress — or worse, suggest a
+// suppression that never existed) and a directive with no reason are
+// both diagnostics. The result is that every suppression in the tree
+// is a valid, justified, greppable audit record.
+package directive
+
+import (
+	"sort"
+	"strings"
+
+	"aroma/internal/analysis"
+)
+
+// Analyzer audits //aroma: directives in every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "aromadirective",
+	Doc:  "every //aroma: directive must name a known rule and carry a one-line reason",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range pass.Directives() {
+		if _, ok := analysis.KnownDirectives[d.Name]; !ok {
+			known := make([]string, 0, len(analysis.KnownDirectives))
+			for name := range analysis.KnownDirectives {
+				known = append(known, name)
+			}
+			sort.Strings(known)
+			pass.Reportf(d.Pos, "unknown directive //aroma:%s (known: %s)", d.Name, strings.Join(known, ", "))
+			continue
+		}
+		if d.Reason == "" {
+			pass.Reportf(d.Pos, "//aroma:%s needs a reason: state in one line why the rule cannot bite here", d.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package eagerfmt keeps trace recording lazy. PR 5 rebuilt the trace
+// so Record/Issue/Info/Violation carry a format string plus arguments
+// and defer fmt.Sprintf to the first read of Event.Message — a
+// filtered-out call formats nothing and allocates (next to) nothing.
+// Passing fmt.Sprintf(...) or a runtime string concatenation as an
+// argument resurrects the eager cost on every call, filtered or not,
+// on the hottest paths in the simulator. The fix is mechanical: hand
+// the format string and the arguments to the trace call itself. A
+// deliberate off-hot-path exception carries
+//
+//	//aroma:eagerok <why>
+//
+// on the call's line.
+package eagerfmt
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aroma/internal/analysis"
+)
+
+// Config names the lazy-logging receiver and its methods.
+type Config struct {
+	// LogTypes are the named types ("<import path>.<TypeName>") whose
+	// methods format lazily.
+	LogTypes []string
+	// Methods are the lazily-formatting variadic methods.
+	Methods []string
+}
+
+// DefaultConfig targets the trace log (and the facade's event bus,
+// which forwards to it with the same lazy contract).
+func DefaultConfig() Config {
+	return Config{
+		LogTypes: []string{"aroma/internal/trace.Log"},
+		Methods:  []string{"Record", "Issue", "Info", "Violation"},
+	}
+}
+
+// Analyzer is the default-scoped instance used by aromalint.
+var Analyzer = New(DefaultConfig())
+
+// New builds an eagerfmt analyzer with an explicit target set.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "eagerfmt",
+		Doc:  "flags eager fmt.Sprintf/concatenation passed to the lazy trace-recording methods",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isLazyCall(pass, cfg, call) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				eager, what := eagerString(pass, arg)
+				if !eager || pass.Suppressed("eagerok", arg.Pos()) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"%s is formatted eagerly before the trace severity filter: pass the format string and arguments and let Event.Message format lazily, or annotate //aroma:eagerok <why>", what)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isLazyCall reports whether call invokes one of the lazy trace
+// methods on one of the configured log types.
+func isLazyCall(pass *analysis.Pass, cfg Config, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	named := false
+	for _, m := range cfg.Methods {
+		if fn.Name() == m {
+			named = true
+			break
+		}
+	}
+	if !named {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	nt, ok := t.(*types.Named)
+	if !ok || nt.Obj().Pkg() == nil {
+		return false
+	}
+	full := nt.Obj().Pkg().Path() + "." + nt.Obj().Name()
+	for _, lt := range cfg.LogTypes {
+		if lt == full {
+			return true
+		}
+	}
+	return false
+}
+
+// eagerString classifies an argument as eagerly-built string work:
+// a fmt.Sprintf call, or a + concatenation of strings with a
+// non-constant operand (constant folding is free; runtime
+// concatenation is not).
+func eagerString(pass *analysis.Pass, arg ast.Expr) (bool, string) {
+	switch x := arg.(type) {
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(fn.Name() == "Sprintf" || fn.Name() == "Sprint" || fn.Name() == "Sprintln") {
+				return true, "fmt." + fn.Name()
+			}
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return false, ""
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || tv.Value != nil {
+			return false, "" // not typed, or a compile-time constant
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			return true, "string concatenation"
+		}
+	}
+	return false, ""
+}

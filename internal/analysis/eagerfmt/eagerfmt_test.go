@@ -1,0 +1,14 @@
+package eagerfmt_test
+
+import (
+	"testing"
+
+	"aroma/internal/analysis/analysistest"
+	"aroma/internal/analysis/eagerfmt"
+)
+
+// The testdata imports the real aroma/internal/trace, so the default
+// analyzer (targeting trace.Log) applies as-is.
+func TestEagerFmt(t *testing.T) {
+	analysistest.Run(t, eagerfmt.Analyzer, "tracepkg")
+}

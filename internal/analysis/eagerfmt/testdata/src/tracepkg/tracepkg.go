@@ -1,0 +1,34 @@
+// Package tracepkg exercises eagerfmt against the real trace.Log API:
+// the lazy Record/Issue/Info/Violation variants take a format string
+// plus arguments; handing them a pre-formatted string resurrects the
+// eager cost PR 5 removed from the hot path.
+package tracepkg
+
+import (
+	"fmt"
+
+	"aroma/internal/trace"
+)
+
+func record(log *trace.Log, n int, name string) {
+	// The lazy idiom: format string + args, deferred past the filter.
+	log.Record(trace.Physical, trace.Info, "radio", "sent %d", n)
+
+	log.Record(trace.Physical, trace.Info, "radio", fmt.Sprintf("sent %d", n)) // want `fmt\.Sprintf is formatted eagerly`
+
+	log.Issue(trace.Resource, "lease", "holder "+name) // want `string concatenation is formatted eagerly`
+
+	log.Info(trace.Abstract, "svc", fmt.Sprint(n)) // want `fmt\.Sprint is formatted eagerly`
+
+	// Constant folding is free: no diagnostic.
+	log.Info(trace.Abstract, "svc", "constant "+"fold")
+
+	// Sprintf feeding something that is not a lazy trace method is not
+	// this analyzer's business.
+	consume(fmt.Sprintf("sent %d", n))
+
+	//aroma:eagerok cold path: runs once at world build, not per event
+	log.Violation(trace.Intentional, "user", fmt.Sprintf("%s gave up", name))
+}
+
+func consume(s string) {}

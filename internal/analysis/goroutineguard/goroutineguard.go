@@ -1,0 +1,214 @@
+// Package goroutineguard enforces the single-threaded-kernel
+// invariant. The simulator's kernel, medium, and protocol layers are
+// written lock-free on the guarantee that exactly one goroutine ever
+// touches a world; a stray `go` statement that captures kernel, world,
+// or medium state turns digest divergence into a data race. Two spawn
+// sites are architecturally audited and allowlisted: the daemon host's
+// command loop (the world's single thread behind a concurrent HTTP
+// surface) and the sweep engine's worker pool (workers own
+// run-isolated worlds that share nothing). Inside the deterministic
+// packages, every `go` statement is flagged regardless of what it
+// captures. Elsewhere the escape hatch is
+//
+//	//aroma:goroutine <why>
+//
+// on the `go` statement's line.
+package goroutineguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"aroma/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Deterministic packages admit no goroutines at all.
+	Deterministic []string
+	// Guarded lists the named types ("<import path>.<TypeName>") that
+	// constitute "sim state": a goroutine capturing a value involving
+	// one of these types is flagged anywhere in the module.
+	Guarded []string
+	// AllowedFuncs are fully audited spawn sites, as
+	// "<import path>.<func>" or "<import path>.(*T).m".
+	AllowedFuncs []string
+}
+
+// DefaultConfig guards the simulator state packages.
+func DefaultConfig() Config {
+	return Config{
+		Deterministic: analysis.DeterministicPackages,
+		Guarded:       analysis.GuardedStateTypes,
+		AllowedFuncs:  analysis.GoroutineAllowedFuncs,
+	}
+}
+
+// Analyzer is the default-scoped instance used by aromalint.
+var Analyzer = New(DefaultConfig())
+
+// New builds a goroutineguard analyzer with an explicit scope.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "goroutineguard",
+		Doc:  "flags go statements that capture kernel/world/medium state outside the audited spawn sites",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	deterministic := analysis.MatchAny(pass.Pkg.Path(), cfg.Deterministic)
+	for _, f := range pass.Files {
+		var stack []*ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				stack = append(stack, x)
+			case nil:
+				return true
+			case *ast.GoStmt:
+				checkGo(pass, cfg, x, enclosing(stack, x), deterministic)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosing returns the function declaration containing pos.
+func enclosing(stack []*ast.FuncDecl, n ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].Pos() <= n.Pos() && n.End() <= stack[i].End() {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, cfg Config, g *ast.GoStmt, in *ast.FuncDecl, deterministic bool) {
+	if pass.InTestFile(g.Pos()) || pass.Suppressed("goroutine", g.Pos()) {
+		return
+	}
+	if in != nil && allowed(pass, cfg, in) {
+		return
+	}
+	if deterministic {
+		pass.Reportf(g.Pos(),
+			"go statement in deterministic package %s: the kernel and everything above it is single-threaded by contract", pass.Pkg.Path())
+		return
+	}
+	if t := capturedGuarded(pass, cfg, g); t != "" {
+		pass.Reportf(g.Pos(),
+			"goroutine captures sim state (%s): worlds are single-threaded — route the work through the world's command loop, or annotate //aroma:goroutine <why> after an audit", t)
+	}
+}
+
+// allowed reports whether the enclosing function is an audited spawn
+// site.
+func allowed(pass *analysis.Pass, cfg Config, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.Pkg().Path() + "." + name(fn)
+	for _, a := range cfg.AllowedFuncs {
+		if a == full {
+			return true
+		}
+	}
+	return false
+}
+
+// name renders a function as "f" or "(*T).m" / "(T).m".
+func name(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return fn.Name()
+	}
+	t := recv.Type()
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		ptr = "*"
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fn.Name()
+	}
+	return "(" + ptr + named.Obj().Name() + ")." + fn.Name()
+}
+
+// capturedGuarded reports the first guarded type the goroutine
+// captures — through its receiver, its arguments, or (for a func
+// literal) any free variable its body mentions — or "". Variables
+// declared inside the go statement itself are the goroutine's own
+// run-isolated state (the sweep-worker pattern) and are not captures.
+func capturedGuarded(pass *analysis.Pass, cfg Config, g *ast.GoStmt) string {
+	found := ""
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Pos() >= g.Pos() && v.Pos() < g.End() {
+			return true // declared within the goroutine: not a capture
+		}
+		if hit := guardedType(cfg, v.Type(), make(map[types.Type]bool), 0); hit != "" {
+			found = hit
+		}
+		return true
+	})
+	return found
+}
+
+// guardedType walks t structurally (through pointers, containers, and
+// struct fields) looking for a named type from a guarded package.
+func guardedType(cfg Config, t types.Type, seen map[types.Type]bool, depth int) string {
+	if t == nil || seen[t] || depth > 6 {
+		return ""
+	}
+	seen[t] = true
+	switch x := t.(type) {
+	case *types.Named:
+		if pkg := x.Obj().Pkg(); pkg != nil {
+			full := pkg.Path() + "." + x.Obj().Name()
+			for _, gt := range cfg.Guarded {
+				if gt == full {
+					return pkg.Name() + "." + x.Obj().Name()
+				}
+			}
+		}
+		return guardedType(cfg, x.Underlying(), seen, depth+1)
+	case *types.Pointer:
+		return guardedType(cfg, x.Elem(), seen, depth+1)
+	case *types.Slice:
+		return guardedType(cfg, x.Elem(), seen, depth+1)
+	case *types.Array:
+		return guardedType(cfg, x.Elem(), seen, depth+1)
+	case *types.Map:
+		if hit := guardedType(cfg, x.Key(), seen, depth+1); hit != "" {
+			return hit
+		}
+		return guardedType(cfg, x.Elem(), seen, depth+1)
+	case *types.Chan:
+		return guardedType(cfg, x.Elem(), seen, depth+1)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if hit := guardedType(cfg, x.Field(i).Type(), seen, depth+1); hit != "" {
+				return hit
+			}
+		}
+	case *types.Signature:
+		// A captured closure value can itself hold sim state, but its
+		// signature alone proves nothing; stop here.
+	}
+	return ""
+}

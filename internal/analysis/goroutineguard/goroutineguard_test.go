@@ -1,0 +1,17 @@
+package goroutineguard_test
+
+import (
+	"testing"
+
+	"aroma/internal/analysis/analysistest"
+	"aroma/internal/analysis/goroutineguard"
+)
+
+func TestGoroutineGuard(t *testing.T) {
+	a := goroutineguard.New(goroutineguard.Config{
+		Deterministic: []string{"detgo"},
+		Guarded:       []string{"gopkg.Kernel"},
+		AllowedFuncs:  []string{"gopkg.newHost", "gopkg.(*Pool).Run"},
+	})
+	analysistest.Run(t, a, "gopkg", "detgo")
+}

@@ -1,0 +1,13 @@
+// Package detgo stands in for a deterministic package: every go
+// statement is flagged, whatever it captures.
+package detgo
+
+func compute(xs []int, out chan<- int) {
+	go func() { // want `go statement in deterministic package`
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		out <- s
+	}()
+}

@@ -1,0 +1,72 @@
+// Package gopkg exercises goroutineguard outside the deterministic
+// packages: a goroutine is flagged only when it captures sim state
+// (here, the Kernel type) outside an audited spawn site.
+package gopkg
+
+type Kernel struct {
+	now  int64
+	heap []int
+}
+
+func (k *Kernel) run() {}
+
+// holder transitively contains a Kernel, so capturing one captures
+// sim state.
+type holder struct {
+	k *Kernel
+	n int
+}
+
+func use(h holder) {}
+
+// spawnShared hands the live kernel to another thread: flagged.
+func spawnShared(k *Kernel) {
+	go k.run() // want `goroutine captures sim state \(gopkg\.Kernel\)`
+}
+
+// spawnClosure captures the kernel as a free variable of the literal.
+func spawnClosure(k *Kernel) {
+	done := make(chan struct{})
+	go func() { // want `goroutine captures sim state \(gopkg\.Kernel\)`
+		k.run()
+		close(done)
+	}()
+	<-done
+}
+
+// spawnHolder captures sim state through a containing struct.
+func spawnHolder(h holder) {
+	go use(h) // want `goroutine captures sim state \(gopkg\.Kernel\)`
+}
+
+// spawnIsolated builds its own kernel inside the goroutine — the
+// sweep-worker pattern: run-isolated state is not a capture.
+func spawnIsolated() {
+	go func() {
+		k := &Kernel{}
+		k.run()
+	}()
+}
+
+// spawnPlain captures only plain data: fine outside det packages.
+func spawnPlain(n int, out chan<- int) {
+	go func() { out <- n * n }()
+}
+
+// newHost is the audited spawn site named in the test's config.
+func newHost(k *Kernel) {
+	go k.run()
+}
+
+// Pool covers the "(*T).m" spelling of an audited spawn site.
+type Pool struct{ k *Kernel }
+
+func (p *Pool) Run() {
+	go p.k.run()
+}
+
+// annotated carries a justified //aroma:goroutine escape hatch.
+func annotated(k *Kernel) {
+	//aroma:goroutine serialized onto the command loop; audited by hand
+	go k.run()
+}

@@ -1,0 +1,45 @@
+package load_test
+
+import (
+	"testing"
+
+	"aroma/internal/analysis/load"
+)
+
+// TestPackages loads a real module package through the offline
+// go list -export pipeline and checks the result is fully
+// type-checked.
+func TestPackages(t *testing.T) {
+	pkgs, err := load.Packages(".", "aroma/internal/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "aroma/internal/trace" || p.Pkg.Name() != "trace" {
+		t.Errorf("loaded %s (package %s), want aroma/internal/trace (package trace)", p.ImportPath, p.Pkg.Name())
+	}
+	if len(p.Files) == 0 {
+		t.Error("no files parsed")
+	}
+	if len(p.TypesInfo.Defs) == 0 || len(p.TypesInfo.Uses) == 0 {
+		t.Error("type information is empty; analyzers would see nothing")
+	}
+	if p.Pkg.Scope().Lookup("Log") == nil {
+		t.Error("trace.Log not in package scope")
+	}
+}
+
+// TestPackagesResolvesModuleImports checks that a package importing
+// other module packages type-checks against their export data.
+func TestPackagesResolvesModuleImports(t *testing.T) {
+	pkgs, err := load.Packages(".", "aroma/internal/discovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+}

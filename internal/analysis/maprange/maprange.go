@@ -1,0 +1,218 @@
+// Package maprange flags map iteration in the simulator's
+// deterministic packages. Go randomizes map iteration order on every
+// run, so a `for range` over a map on any path that feeds scheduling,
+// delivery, receipts, traces, or exported state makes World.Digest()
+// differ between bit-identical reruns — the exact bug class PR 2
+// eradicated by rebuilding the radio medium on ID-ordered snapshots.
+//
+// A loop is accepted without annotation only when every statement in
+// its body is order-insensitive by construction: commutative
+// accumulation (x++, x--, x += v, x |= v, ...), deletes, or writes to
+// another map keyed by the loop's own key variable (each iteration
+// touches a distinct element). Anything else — appends, sends, calls,
+// conditionals — needs sorting outside the loop and an explicit
+//
+//	//aroma:ordered <why>
+//
+// directive stating why order cannot escape (typically "sorted
+// immediately after the loop").
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aroma/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are the import-path patterns whose map ranges are
+	// audited ("..." wildcards allowed).
+	Packages []string
+}
+
+// DefaultConfig audits the deterministic packages.
+func DefaultConfig() Config {
+	return Config{Packages: analysis.DeterministicPackages}
+}
+
+// Analyzer is the default-scoped instance used by aromalint.
+var Analyzer = New(DefaultConfig())
+
+// New builds a maprange analyzer with an explicit scope (tests point
+// it at testdata packages).
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "maprange",
+		Doc:  "flags nondeterministic map iteration in the deterministic simulator packages",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !analysis.MatchAny(pass.Pkg.Path(), cfg.Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.InTestFile(rng.Pos()) || pass.Suppressed("ordered", rng.Pos()) {
+				return true
+			}
+			if orderInsensitive(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is nondeterministic and this loop's effects are order-sensitive; iterate a sorted snapshot, or annotate //aroma:ordered <why> if order provably cannot escape")
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitive reports whether every statement in the loop body is
+// order-insensitive by construction.
+func orderInsensitive(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	for _, stmt := range rng.Body.List {
+		if !insensitiveStmt(pass, rng, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func insensitiveStmt(pass *analysis.Pass, rng *ast.RangeStmt, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return sideEffectFree(pass, s.X)
+	case *ast.AssignStmt:
+		return insensitiveAssign(pass, rng, s)
+	case *ast.ExprStmt:
+		// delete(m2, ...) is commutative across iterations as long as
+		// its arguments don't themselves have effects.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if obj, ok := pass.TypesInfo.Uses[id]; ok {
+					if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+						for _, arg := range call.Args {
+							if !sideEffectFree(pass, arg) {
+								return false
+							}
+						}
+						return true
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// insensitiveAssign accepts commutative accumulations (sum += v,
+// bits |= m, n *= k, x ^= h) and writes to a map element keyed by the
+// loop's key variable.
+func insensitiveAssign(pass *analysis.Pass, rng *ast.RangeStmt, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative only over numeric/boolean domains: string +=
+		// concatenation is order-sensitive.
+		for _, lhs := range s.Lhs {
+			if isString(pass, lhs) || !sideEffectFree(pass, lhs) {
+				return false
+			}
+		}
+		for _, rhs := range s.Rhs {
+			if !sideEffectFree(pass, rhs) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		ix, ok := s.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[ix.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		// The written key must be exactly the loop's key variable, so
+		// each iteration writes a distinct element.
+		keyID, ok := rng.Key.(*ast.Ident)
+		if !ok || keyID.Name == "_" {
+			return false
+		}
+		wrID, ok := ix.Index.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[wrID] != pass.TypesInfo.Defs[keyID] {
+			return false
+		}
+		return sideEffectFree(pass, s.Rhs[0])
+	default:
+		return false
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// sideEffectFree conservatively reports whether evaluating e cannot
+// call user code or depend on iteration order beyond the loop
+// variables themselves: identifiers, selectors, literals, index
+// expressions, and arithmetic over those.
+func sideEffectFree(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return sideEffectFree(pass, x.X)
+	case *ast.IndexExpr:
+		return sideEffectFree(pass, x.X) && sideEffectFree(pass, x.Index)
+	case *ast.ParenExpr:
+		return sideEffectFree(pass, x.X)
+	case *ast.UnaryExpr:
+		return x.Op != token.AND && sideEffectFree(pass, x.X)
+	case *ast.BinaryExpr:
+		return sideEffectFree(pass, x.X) && sideEffectFree(pass, x.Y)
+	case *ast.StarExpr:
+		return sideEffectFree(pass, x.X)
+	case *ast.CallExpr:
+		// Only len/cap, which are pure.
+		id, ok := x.Fun.(*ast.Ident)
+		if !ok || (id.Name != "len" && id.Name != "cap") {
+			return false
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		return len(x.Args) == 1 && sideEffectFree(pass, x.Args[0])
+	default:
+		return false
+	}
+}

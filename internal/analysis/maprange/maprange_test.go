@@ -1,0 +1,26 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"aroma/internal/analysis/analysistest"
+	"aroma/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	a := maprange.New(maprange.Config{Packages: []string{"detpkg", "prepr2"}})
+	diags := analysistest.Run(t, a, "detpkg", "prepr2", "outofscope")
+	if n := len(diags["outofscope"]); n != 0 {
+		t.Errorf("outofscope package produced %d diagnostics, want 0", n)
+	}
+}
+
+// TestPrePR2Regression pins the satellite requirement by name: the
+// reconstructed pre-PR 2 map-ordered delivery loop must be caught.
+func TestPrePR2Regression(t *testing.T) {
+	a := maprange.New(maprange.Config{Packages: []string{"prepr2"}})
+	diags := analysistest.Run(t, a, "prepr2")
+	if len(diags["prepr2"]) != 1 {
+		t.Fatalf("got %d diagnostics for the reconstructed radio bug, want exactly 1 (the map-ordered deliver loop)", len(diags["prepr2"]))
+	}
+}

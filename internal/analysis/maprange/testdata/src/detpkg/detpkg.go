@@ -1,0 +1,109 @@
+// Package detpkg exercises maprange: in-scope map iterations must be
+// order-insensitive by construction, sorted under an //aroma:ordered
+// directive, or flagged.
+package detpkg
+
+import "sort"
+
+// keys appends in map order: the classic violation.
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the sanctioned pattern: collect, sort, justify.
+func keysSorted(m map[int]string) []int {
+	var out []int
+	//aroma:ordered keys only; sorted immediately after the loop
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keysTrailing uses the trailing-directive form.
+func keysTrailing(m map[int]string) []int {
+	var out []int
+	for k := range m { //aroma:ordered keys only; sorted immediately after the loop
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// noReason: a directive without a justification does not suppress.
+func noReason(m map[int]string) []int {
+	var out []int
+	//aroma:ordered
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// count is commutative accumulation: fine without annotation.
+func count(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sum is commutative accumulation over values: fine.
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// join is += over strings — concatenation order escapes: flagged.
+func join(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// mirror writes a distinct element of another map per iteration: fine.
+func mirror(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// drain deletes as it goes — delete is commutative across iterations.
+func drain(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// branchy has a conditional body — effects may be order-sensitive.
+func branchy(m map[int]int, limit int) int {
+	best := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		if v < limit {
+			best = v
+		}
+	}
+	return best
+}
+
+// sliceLoop ranges over a slice, not a map: never flagged.
+func sliceLoop(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package outofscope is not listed in the analyzer's package scope:
+// its map iterations are someone else's business (a CLI formatting
+// output, say) and must produce no diagnostics.
+package outofscope
+
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package prepr2 reconstructs the bug class PR 2 eradicated from the
+// radio medium: frame receipts delivered by iterating the
+// attached-radios map. Each delivery bumps a shared sequence counter
+// and invokes a model callback, so simultaneous receptions drew
+// different sequence numbers on every run and World.Digest() diverged
+// between bit-identical reruns. maprange must catch the pattern.
+package prepr2
+
+type radio struct {
+	id   int
+	hear func(frame []byte)
+}
+
+type medium struct {
+	radios map[int]*radio
+	seq    uint64
+}
+
+// deliver is the pre-PR 2 shape: receipt order = map order.
+func (m *medium) deliver(frame []byte) {
+	for _, r := range m.radios { // want `map iteration order is nondeterministic`
+		m.seq++
+		r.hear(frame)
+	}
+}
+
+// deliverFixed is the PR 2 fix: receipts ride an ID-ordered snapshot.
+func (m *medium) deliverFixed(frame []byte) {
+	for _, r := range m.snapshot() {
+		m.seq++
+		r.hear(frame)
+	}
+}
+
+// snapshot returns the attached radios in ascending ID order.
+func (m *medium) snapshot() []*radio {
+	out := make([]*radio, 0, len(m.radios))
+	//aroma:ordered keys only; insertion-sorted by ID immediately below
+	for _, r := range m.radios {
+		i := len(out)
+		for i > 0 && out[i-1].id > r.id {
+			i--
+		}
+		out = append(out[:i], append([]*radio{r}, out[i:]...)...)
+	}
+	return out
+}

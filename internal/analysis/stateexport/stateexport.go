@@ -1,0 +1,298 @@
+// Package stateexport proves checkpoint completeness at compile time.
+// PR 6's snapshot/restore contract is that each layer's ExportState
+// returns a canonical value covering everything digest-relevant; a
+// field added to a state struct but never written by ExportState would
+// silently export as its zero value, and the byte-equal round-trip
+// check would keep passing — both sides are equally wrong. This
+// analyzer makes that a build failure: every field of the state struct
+// an ExportState method returns (and of every package-local struct
+// reachable from it) must be written somewhere in ExportState or in a
+// same-package function it calls. A field that is deliberately not
+// exported carries
+//
+//	//aroma:noexport <why>
+//
+// on its declaration line.
+package stateexport
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"aroma/internal/analysis"
+)
+
+// Analyzer needs no scoping: it activates only in packages that
+// declare an ExportState method, wherever they are.
+var Analyzer = &analysis.Analyzer{
+	Name: "stateexport",
+	Doc:  "every field of a state struct must be written by the ExportState that returns it",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := funcDecls(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "ExportState" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			check(pass, fd, decls)
+		}
+	}
+	return nil
+}
+
+// funcDecls maps each function object to its declaration, so coverage
+// can follow calls into same-package helpers.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	root := resultStruct(pass, fd)
+	if root == nil {
+		return
+	}
+	targets := reachableStructs(pass, root)
+	bodies := callClosure(pass, fd, decls)
+
+	written := make(map[*types.Named]map[string]bool, len(targets))
+	for named := range targets {
+		written[named] = make(map[string]bool)
+	}
+	for _, body := range bodies {
+		markWrites(pass, body, targets, written)
+	}
+
+	var missing []*types.Var
+	for named, st := range targets {
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !written[named][fld.Name()] {
+				missing = append(missing, fld)
+			}
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Pos() < missing[j].Pos() })
+	for _, fld := range missing {
+		if pass.Suppressed("noexport", fld.Pos()) {
+			continue
+		}
+		owner := ownerName(targets, fld)
+		pass.Reportf(fld.Pos(),
+			"field %s.%s is never written by %s.ExportState: the checkpoint would silently export its zero value; extend ExportState or annotate //aroma:noexport <why>",
+			owner, fld.Name(), recvName(fd))
+	}
+}
+
+func ownerName(targets map[*types.Named]*types.Struct, fld *types.Var) string {
+	for named, st := range targets {
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return named.Obj().Name()
+			}
+		}
+	}
+	return "?"
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return "(" + x.Name + ")"
+		default:
+			return "(?)"
+		}
+	}
+}
+
+// resultStruct returns the named struct type the method returns, or
+// nil if it returns something else.
+func resultStruct(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() != 1 {
+		return nil
+	}
+	t := res.At(0).Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// reachableStructs collects the package-local named struct types
+// reachable from root through field, element, and pointer types: the
+// full shape the checkpoint serializes.
+func reachableStructs(pass *analysis.Pass, root *types.Named) map[*types.Named]*types.Struct {
+	out := make(map[*types.Named]*types.Struct)
+	seen := make(map[types.Type]bool)
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch x := t.(type) {
+		case *types.Named:
+			if st, ok := x.Underlying().(*types.Struct); ok && x.Obj().Pkg() == pass.Pkg {
+				if _, dup := out[x]; !dup {
+					out[x] = st
+					for i := 0; i < st.NumFields(); i++ {
+						visit(st.Field(i).Type())
+					}
+				}
+			}
+		case *types.Pointer:
+			visit(x.Elem())
+		case *types.Slice:
+			visit(x.Elem())
+		case *types.Array:
+			visit(x.Elem())
+		case *types.Map:
+			visit(x.Key())
+			visit(x.Elem())
+		case *types.Chan:
+			visit(x.Elem())
+		}
+	}
+	visit(root)
+	return out
+}
+
+// callClosure returns the bodies of fd and every same-package function
+// transitively referenced from it, so helper-built sub-states count as
+// written.
+func callClosure(pass *analysis.Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	visited := map[*ast.FuncDecl]bool{fd: true}
+	work := []*ast.FuncDecl{fd}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		bodies = append(bodies, cur.Body)
+		ast.Inspect(cur.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if callee, ok := decls[fn]; ok && !visited[callee] && callee.Body != nil {
+				visited[callee] = true
+				work = append(work, callee)
+			}
+			return true
+		})
+	}
+	return bodies
+}
+
+// markWrites records which fields of the target structs are written in
+// body: via keyed or full positional composite literals, or via
+// selector assignments (including op= and ++/--).
+func markWrites(pass *analysis.Pass, body *ast.BlockStmt, targets map[*types.Named]*types.Struct, written map[*types.Named]map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			named := namedOf(pass.TypesInfo.Types[x].Type)
+			st, ok := targets[named]
+			if !ok {
+				return true
+			}
+			keyed := false
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					keyed = true
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						written[named][id.Name] = true
+					}
+				}
+			}
+			if !keyed && len(x.Elts) > 0 {
+				// Positional literals must populate every field.
+				for i := 0; i < st.NumFields(); i++ {
+					written[named][st.Field(i).Name()] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markSelectorWrite(pass, lhs, targets, written)
+			}
+		case *ast.IncDecStmt:
+			markSelectorWrite(pass, x.X, targets, written)
+		}
+		return true
+	})
+}
+
+func markSelectorWrite(pass *analysis.Pass, lhs ast.Expr, targets map[*types.Named]*types.Struct, written map[*types.Named]map[string]bool) {
+	// Unwrap st.Pending[i].Label-style writes to the innermost selector.
+	for {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			lhs = ix.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	named := namedOf(selection.Recv())
+	if _, ok := targets[named]; ok {
+		written[named][sel.Sel.Name] = true
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

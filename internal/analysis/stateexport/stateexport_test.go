@@ -1,0 +1,15 @@
+package stateexport_test
+
+import (
+	"testing"
+
+	"aroma/internal/analysis/analysistest"
+	"aroma/internal/analysis/stateexport"
+)
+
+func TestStateExport(t *testing.T) {
+	diags := analysistest.Run(t, stateexport.Analyzer, "statepkg")
+	if n := len(diags["statepkg"]); n != 2 {
+		t.Errorf("got %d diagnostics, want 2 (Inner.B and State.Y)", n)
+	}
+}

@@ -1,0 +1,32 @@
+package statepkg
+
+// FullState is fully covered via keyed fields and a selector
+// assignment: no diagnostics.
+type FullState struct {
+	N     int
+	Label string
+}
+
+type Full struct {
+	n    int
+	name string
+}
+
+func (f *Full) ExportState() FullState {
+	st := FullState{N: f.n}
+	st.Label = f.name
+	return st
+}
+
+// PosState is returned as a full positional literal, which by
+// construction populates every field.
+type PosState struct {
+	Lo int
+	Hi int
+}
+
+type Pos struct{ lo, hi int }
+
+func (p *Pos) ExportState() PosState {
+	return PosState{p.lo, p.hi}
+}

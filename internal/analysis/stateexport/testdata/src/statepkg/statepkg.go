@@ -1,0 +1,37 @@
+// Package statepkg exercises stateexport: every field of the struct
+// an ExportState returns — and of every package-local struct reachable
+// from it — must be written by ExportState or a helper it calls.
+package statepkg
+
+// Inner is reachable from State via the Items slice. A is written by
+// the makeInner helper; B never is.
+type Inner struct {
+	A int
+	B int // want `field Inner.B is never written`
+}
+
+type State struct {
+	X     int
+	Y     int // want `field State.Y is never written`
+	Items []Inner
+	Skip  int //aroma:noexport derived from X on load; serializing it would be redundant
+}
+
+type Thing struct {
+	x     int
+	items map[int]int
+}
+
+func (t *Thing) ExportState() State {
+	st := State{X: t.x}
+	//aroma:ordered export rows carry only the key; order checked elsewhere
+	for k := range t.items {
+		st.Items = append(st.Items, makeInner(k))
+	}
+	return st
+}
+
+// makeInner is in ExportState's call closure: its writes count.
+func makeInner(k int) Inner {
+	return Inner{A: k}
+}

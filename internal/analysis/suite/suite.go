@@ -1,0 +1,27 @@
+// Package suite enumerates the aromalint analyzers. It lives apart
+// from both the framework (which the analyzers import) and the driver
+// (cmd/aromalint), so the integration test that pins "the suite is
+// clean on HEAD" and the shipped tool can never drift apart.
+package suite
+
+import (
+	"aroma/internal/analysis"
+	"aroma/internal/analysis/directive"
+	"aroma/internal/analysis/eagerfmt"
+	"aroma/internal/analysis/goroutineguard"
+	"aroma/internal/analysis/maprange"
+	"aroma/internal/analysis/stateexport"
+	"aroma/internal/analysis/wallclock"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maprange.Analyzer,
+		wallclock.Analyzer,
+		stateexport.Analyzer,
+		goroutineguard.Analyzer,
+		eagerfmt.Analyzer,
+		directive.Analyzer,
+	}
+}

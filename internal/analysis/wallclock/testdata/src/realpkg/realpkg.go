@@ -1,0 +1,19 @@
+// Package realpkg stands in for an allowlisted real-time layer (the
+// daemon, sweep engine, profiling): host time and ambient randomness
+// are its business, and nothing here may be flagged.
+package realpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second)))
+}

@@ -1,0 +1,54 @@
+// Package simpkg exercises wallclock: host clocks and the global
+// rand generator are forbidden in sim code; seeded generators and
+// pure time constructors are fine.
+package simpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `host clock function time.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `host clock function time.Since`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `host clock function time.Sleep`
+}
+
+func timer(f func()) *time.Timer {
+	return time.AfterFunc(time.Second, f) // want `host clock function time.AfterFunc`
+}
+
+// clock holds a function value: still a use of time.Now.
+var clock = time.Now // want `host clock function time.Now`
+
+func roll() int {
+	return rand.Intn(6) // want `global generator function rand.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global generator function rand.Shuffle`
+}
+
+// seeded builds an explicit generator: constructors and methods on the
+// resulting *rand.Rand are exactly what sim code should use.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// toDuration is a pure conversion with no ambient state.
+func toDuration(ns int64) time.Duration {
+	return time.Duration(ns)
+}
+
+// fence is annotated: a justified //aroma:realtime suppresses.
+func fence() int64 {
+	//aroma:realtime profiling fence, compared only against itself
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,120 @@
+// Package wallclock forbids host time and ambient randomness in sim
+// code. Simulated time advances only through the kernel's event clock
+// and randomness comes only from the seeded world RNG; a single
+// time.Now or global rand.Intn couples a run to the host scheduler and
+// breaks bit-identical digests in a way no regression test can pin
+// down. The daemon, sweep engine, profiling, and CLI layers
+// legitimately measure real time and are allowlisted wholesale;
+// anything else needs a
+//
+//	//aroma:realtime <why>
+//
+// directive on the offending line.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"aroma/internal/analysis"
+)
+
+// forbiddenTime are the time package functions that read or wait on
+// the host clock. Pure constructors and conversions (time.Duration,
+// time.Unix, time.Date) are fine: they involve no ambient state.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRand are the math/rand package-level functions that do NOT
+// touch the global generator: explicit constructors model code uses to
+// build seeded per-world generators. Every other package-level
+// function draws from the process-global source.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages are audited; Allowlist wins over Packages. Both take
+	// "..." wildcards.
+	Packages  []string
+	Allowlist []string
+}
+
+// DefaultConfig audits the whole module except the real-time layers.
+func DefaultConfig() Config {
+	return Config{
+		Packages:  []string{"aroma", "aroma/..."},
+		Allowlist: analysis.RealtimeAllowed,
+	}
+}
+
+// Analyzer is the default-scoped instance used by aromalint.
+var Analyzer = New(DefaultConfig())
+
+// New builds a wallclock analyzer with an explicit scope.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "wallclock",
+		Doc:  "forbids time.Now/Sleep/... and global math/rand in deterministic sim code",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	path := pass.Pkg.Path()
+	if !analysis.MatchAny(path, cfg.Packages) || analysis.MatchAny(path, cfg.Allowlist) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			var what string
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					what = "host clock function time." + fn.Name()
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					what = "global generator function " + fn.Pkg().Name() + "." + fn.Name()
+				}
+			}
+			if what == "" {
+				return true
+			}
+			if pass.InTestFile(id.Pos()) || pass.Suppressed("realtime", id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s in sim code: take time from the kernel clock and randomness from the seeded world RNG, or annotate //aroma:realtime <why>", what)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"aroma/internal/analysis/analysistest"
+	"aroma/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	a := wallclock.New(wallclock.Config{
+		Packages:  []string{"simpkg", "realpkg"},
+		Allowlist: []string{"realpkg"},
+	})
+	diags := analysistest.Run(t, a, "simpkg", "realpkg")
+	if n := len(diags["realpkg"]); n != 0 {
+		t.Errorf("allowlisted package produced %d diagnostics, want 0", n)
+	}
+}

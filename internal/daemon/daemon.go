@@ -549,6 +549,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	// Cancel from a detached goroutine: the loop may be deep in a long
 	// run command, and the disconnecting client must not wait for it.
+	//aroma:goroutine touches the world only via h.do, which serializes onto the command loop
 	defer func() { go h.do(func() { cancel() }) }()
 
 	w.Header().Set("Content-Type", "text/event-stream")

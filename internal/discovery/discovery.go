@@ -72,6 +72,7 @@ func (t Template) Matches(it Item) bool {
 	if t.Name != "" && t.Name != it.Name {
 		return false
 	}
+	//aroma:ordered pure conjunction over entries; the boolean result is order-independent
 	for k, v := range t.Attrs {
 		if it.Attrs[k] != v {
 			return false
@@ -322,6 +323,7 @@ func (l *Lookup) serveLookup(req request) []byte {
 		tmpl = *req.Tmpl
 	}
 	var out []Item
+	//aroma:ordered matches are sorted by ServiceID immediately below
 	for _, reg := range l.items {
 		if tmpl.Matches(reg.item) {
 			out = append(out, reg.item)
@@ -373,6 +375,7 @@ func (l *Lookup) serveUnsubscribe(req request) []byte {
 // sequence numbers on every run, breaking seed reproducibility.
 func (l *Lookup) notify(kind EventKind, item Item) {
 	ids := make([]uint64, 0, len(l.subs))
+	//aroma:ordered keys only; sorted before delivery
 	for id := range l.subs {
 		ids = append(ids, id)
 	}

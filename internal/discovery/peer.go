@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"encoding/json"
+	"sort"
 
 	"aroma/internal/netsim"
 	"aroma/internal/sim"
@@ -177,12 +178,17 @@ func (pc *PeerCache) onAnnounce(src netsim.Addr, data []byte) {
 	}
 }
 
-// sweep drops entries whose TTL has lapsed.
+// sweep drops entries whose TTL has lapsed. Entries lapse in
+// ascending (provider, name) order: OnExpire can schedule events and
+// record traces, so expiry order must be identical on every run —
+// iterating the maps directly would hand simultaneous expirations
+// different kernel sequence numbers run to run.
 func (pc *PeerCache) sweep() {
 	now := pc.node.Kernel().Now()
-	for provider, byName := range pc.entries {
-		for name, e := range byName {
-			if now >= e.expires {
+	for _, provider := range pc.sortedProviders() {
+		byName := pc.entries[provider]
+		for _, name := range sortedNames(byName) {
+			if e := byName[name]; now >= e.expires {
 				delete(byName, name)
 				pc.Expirations++
 				if pc.OnExpire != nil {
@@ -196,14 +202,41 @@ func (pc *PeerCache) sweep() {
 	}
 }
 
-// Lookup returns cached items matching the template. Unlike the lookup
-// service this is a purely local, zero-round-trip query — but it only
-// knows what has been overheard and not yet expired.
+// sortedProviders returns the cached providers in ascending address
+// order.
+func (pc *PeerCache) sortedProviders() []netsim.Addr {
+	providers := make([]netsim.Addr, 0, len(pc.entries))
+	//aroma:ordered keys only; sorted before use
+	for provider := range pc.entries {
+		providers = append(providers, provider)
+	}
+	sort.Slice(providers, func(i, j int) bool { return providers[i] < providers[j] })
+	return providers
+}
+
+// sortedNames returns one provider's service names in ascending order.
+func sortedNames(byName map[string]*peerEntry) []string {
+	names := make([]string, 0, len(byName))
+	//aroma:ordered keys only; sorted before use
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns cached items matching the template, in ascending
+// (provider, name) order. Unlike the lookup service this is a purely
+// local, zero-round-trip query — but it only knows what has been
+// overheard and not yet expired. The order is part of the determinism
+// contract: a client that takes the first match must resolve the same
+// service on every run.
 func (pc *PeerCache) Lookup(tmpl Template) []Item {
 	var out []Item
-	for _, byName := range pc.entries {
-		for _, e := range byName {
-			if tmpl.Matches(e.item) {
+	for _, provider := range pc.sortedProviders() {
+		byName := pc.entries[provider]
+		for _, name := range sortedNames(byName) {
+			if e := byName[name]; tmpl.Matches(e.item) {
 				out = append(out, e.item)
 			}
 		}

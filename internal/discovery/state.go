@@ -55,6 +55,7 @@ func (l *Lookup) ExportState() State {
 		LookupsServed:   l.LookupsServed,
 		EventsDelivered: l.EventsDelivered,
 	}
+	//aroma:ordered export rows are sorted by ID immediately after the loop
 	for id, reg := range l.items {
 		st.Items = append(st.Items, ItemState{
 			ID: id, Name: reg.item.Name, Type: reg.item.Type, Attrs: reg.item.Attrs,
@@ -62,6 +63,7 @@ func (l *Lookup) ExportState() State {
 		})
 	}
 	sort.Slice(st.Items, func(i, j int) bool { return st.Items[i].ID < st.Items[j].ID })
+	//aroma:ordered export rows are sorted by ID immediately after the loop
 	for id, sub := range l.subs {
 		st.Subs = append(st.Subs, SubState{ID: id, Client: sub.client, LeaseID: sub.lease.ID()})
 	}

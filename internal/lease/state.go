@@ -36,6 +36,7 @@ func (t *Table) ExportState() State {
 		Renewed:  t.Renewed,
 		Released: t.Released,
 	}
+	//aroma:ordered export rows are sorted by ID immediately after the loop
 	for _, l := range t.leases {
 		st.Leases = append(st.Leases, LeaseState{
 			ID: l.id, Holder: l.holder, Expires: l.expires, Renewals: l.renewals,

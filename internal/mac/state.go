@@ -36,6 +36,7 @@ type State struct {
 // ExportState captures the MAC layer's current state in canonical form.
 func (m *MAC) ExportState() State {
 	st := State{NextAddr: m.nextAddr, Seq: m.seq}
+	//aroma:ordered export rows are sorted by Addr immediately after the loop
 	for _, s := range m.stations {
 		ss := StationState{
 			Addr:         s.addr,
@@ -47,6 +48,7 @@ func (m *MAC) ExportState() State {
 			Drops:        s.Drops,
 			RetriesTotal: s.RetriesTotal,
 		}
+		//aroma:ordered export rows are sorted by Src immediately after the loop
 		for src, seq := range s.lastSeq {
 			ss.LastSeq = append(ss.LastSeq, SeqState{Src: src, Seq: seq})
 		}

@@ -42,16 +42,20 @@ func (n *Network) ExportState() State {
 		CallsCompleted: n.CallsCompleted,
 		CallsTimedOut:  n.CallsTimedOut,
 	}
+	//aroma:ordered export rows are sorted by Addr immediately after the loop
 	for _, nd := range n.nodes {
 		ns := NodeState{Addr: nd.Addr(), Name: nd.name, MTU: nd.MTU}
+		//aroma:ordered export rows are sorted by group immediately after the loop
 		for g := range nd.groups {
 			ns.Groups = append(ns.Groups, g)
 		}
 		sort.Slice(ns.Groups, func(i, j int) bool { return ns.Groups[i] < ns.Groups[j] })
+		//aroma:ordered export rows are sorted by call ID immediately after the loop
 		for id := range nd.pending {
 			ns.PendingCalls = append(ns.PendingCalls, id)
 		}
 		sort.Slice(ns.PendingCalls, func(i, j int) bool { return ns.PendingCalls[i] < ns.PendingCalls[j] })
+		//aroma:ordered export rows are sorted by (Src, MsgID) immediately after the loop
 		for key, rs := range nd.reassembly {
 			ns.Reassemblies = append(ns.Reassemblies, ReasmState{
 				Src: key.src, MsgID: key.msgID, Have: rs.have, Total: len(rs.frags),

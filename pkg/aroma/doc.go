@@ -107,4 +107,33 @@
 // worlds step in parallel. pkg/aroma/client is the typed Go client,
 // and snapshot bytes downloaded from the daemon restore in-process to
 // the bit-identical world (and vice versa).
+//
+// # Static analysis
+//
+// The contracts above are machine-checked. aromalint (cmd/aromalint,
+// framework in internal/analysis) runs standalone or as a `go vet
+// -vettool`, and CI fails on any diagnostic. One analyzer per
+// invariant:
+//
+//   - maprange — no order-sensitive map iteration in the deterministic
+//     packages (seed reproducibility). Escape hatch:
+//     //aroma:ordered <why>.
+//   - wallclock — no time.Now/Sleep/... and no global math/rand in sim
+//     code; time comes from the kernel clock, randomness from the
+//     seeded world RNG. Escape hatch: //aroma:realtime <why>.
+//   - stateexport — every field of a layer's state struct is written
+//     by its ExportState, so checkpoints cannot silently export zero
+//     values. Escape hatch: //aroma:noexport <why>.
+//   - goroutineguard — no goroutine captures kernel/world/medium state
+//     outside the audited daemon command loop and sweep worker pool
+//     (single-threaded kernel). Escape hatch: //aroma:goroutine <why>.
+//   - eagerfmt — trace recording stays lazy: no fmt.Sprintf or runtime
+//     concatenation handed to Record/Issue/Info/Violation. Escape
+//     hatch: //aroma:eagerok <why>.
+//   - aromadirective — every //aroma: directive must name a known rule
+//     and carry a one-line justification; no escape hatch.
+//
+// An escape-hatch directive suppresses its rule on its own line
+// (trailing form) or on the line below (standalone form); the reason
+// is mandatory.
 package aroma

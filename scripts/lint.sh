@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build aromalint and run the full analyzer suite over the module as a
+# `go vet` tool. Any diagnostic fails the build: every rule violation
+# must be fixed or carry a justified //aroma:<rule> directive.
+#
+# Usage: scripts/lint.sh [packages...]   (defaults to ./...)
+#
+# AROMALINT_BIN overrides where the tool binary is written (useful for
+# keeping it on a cached path in CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="${AROMALINT_BIN:-$(mktemp -d)/aromalint}"
+go build -o "$bin" ./cmd/aromalint
+exec go vet -vettool="$bin" "${@:-./...}"
