@@ -34,12 +34,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
+	shards := flag.Int("shards", 0, "default shard workers for hosted worlds (<2 = sequential; per-world requests override; digests are identical either way)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := daemon.New()
+	srv := daemon.New(daemon.WithDefaultShards(*shards))
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)

@@ -35,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "simulation seed (0 = the scenario's classic seed)")
 	minutes := flag.Int("minutes", 0, "simulated minutes to run (0 = the scenario's default)")
 	verbose := flag.Bool("verbose", false, "print the full trace / extra detail")
+	shards := flag.Int("shards", 0, "shard workers for the space-parallel execution mode (<2 = sequential; digests are identical either way)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	all := flag.Bool("all", false, "run every registered scenario and print a comparison table")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -63,6 +64,7 @@ func main() {
 		Horizon: sim.Time(*minutes) * sim.Minute,
 		Verbose: *verbose,
 		Out:     os.Stdout,
+		Shards:  *shards,
 	}
 
 	if *all {
@@ -108,6 +110,7 @@ func runAll(ctx context.Context, cfg scenario.Config) {
 		Seeds:   []int64{cfg.Seed},
 		Horizon: cfg.Horizon,
 		Verbose: cfg.Verbose,
+		Shards:  cfg.Shards,
 	}
 	var opts []sweep.Option
 	if cfg.Verbose {

@@ -53,6 +53,7 @@ func main() {
 	seeds := flag.String("seeds", "", "explicit comma-separated seed list (overrides -reps/-seed; 0 = the scenario's classic seed)")
 	minutes := flag.Int("minutes", 0, "simulated minutes per run (0 = the scenario's default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	shards := flag.Int("shards", 0, "shard workers per run for the space-parallel execution mode (<2 = sequential; digests and cell statistics are identical either way — pair with -workers 1 to avoid oversubscription)")
 	out := flag.String("out", "", "directory for artifacts: runs.jsonl, cells.csv, report.txt")
 	failFast := flag.Bool("failfast", false, "stop the sweep at the first failed run")
 	verbose := flag.Bool("verbose", false, "print every run's captured output as it completes")
@@ -88,6 +89,7 @@ func main() {
 		BaseSeed: *seed,
 		Horizon:  sim.Time(*minutes) * sim.Minute,
 		Verbose:  *verbose,
+		Shards:   *shards,
 	}
 	if *seeds != "" {
 		for _, part := range strings.Split(*seeds, ",") {

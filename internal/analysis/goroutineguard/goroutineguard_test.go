@@ -11,7 +11,7 @@ func TestGoroutineGuard(t *testing.T) {
 	a := goroutineguard.New(goroutineguard.Config{
 		Deterministic: []string{"detgo"},
 		Guarded:       []string{"gopkg.Kernel"},
-		AllowedFuncs:  []string{"gopkg.newHost", "gopkg.(*Pool).Run"},
+		AllowedFuncs:  []string{"gopkg.newHost", "gopkg.(*Pool).Run", "detgo.(*runner).startWorkers"},
 	})
 	analysistest.Run(t, a, "gopkg", "detgo")
 }

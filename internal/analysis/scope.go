@@ -62,14 +62,18 @@ var (
 		"aroma/pkg/aroma/scenario.Built",
 	}
 
-	// GoroutineAllowedFuncs are the two audited goroutine owners: the
+	// GoroutineAllowedFuncs are the three audited goroutine owners: the
 	// daemon host's command loop (the world's single thread under a
-	// concurrent HTTP surface) and the sweep engine's worker pool
-	// (each worker owns run-isolated worlds that share nothing).
+	// concurrent HTTP surface), the sweep engine's worker pool (each
+	// worker owns run-isolated worlds that share nothing), and the
+	// radio medium's shard-runner pool (workers evaluate region-local
+	// physics between barriers; every receipt commits on the kernel
+	// goroutine in radio-ID order, so digests stay bit-identical).
 	// Entries are "<import path>.<func>" with methods written as
 	// "<import path>.(*T).m".
 	GoroutineAllowedFuncs = []string{
 		"aroma/internal/daemon.newHost",
+		"aroma/internal/radio.(*shardRunner).startWorkers",
 		"aroma/pkg/aroma/sweep.(*Sweep).Run",
 	}
 )

@@ -57,7 +57,22 @@ type Server struct {
 	nextS  int
 	closed bool
 
+	// defaultShards, when > 1, runs every hosted world in the sharded
+	// execution mode with that many workers unless the create request
+	// sets its own count. Digests are identical either way.
+	defaultShards int
+
 	mux *http.ServeMux
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithDefaultShards sets the shard worker count applied to every world
+// the daemon builds, restores, or forks when the request does not
+// choose its own (the aromad -shards flag). Values < 2 mean sequential.
+func WithDefaultShards(n int) Option {
+	return func(s *Server) { s.defaultShards = n }
 }
 
 type storedSnap struct {
@@ -66,11 +81,14 @@ type storedSnap struct {
 }
 
 // New returns a ready-to-serve daemon.
-func New() *Server {
+func New(opts ...Option) *Server {
 	s := &Server{
 		worlds: make(map[string]*host),
 		snaps:  make(map[string]storedSnap),
 		mux:    http.NewServeMux(),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -165,6 +183,7 @@ func (s *Server) info(h *host) (client.WorldInfo, error) {
 			Steps:    ks.Steps,
 			Pending:  len(ks.Pending),
 			Forks:    len(prov.Forks),
+			Shards:   world.Shards(),
 			Digest:   world.Digest(),
 		}
 	})
@@ -200,12 +219,17 @@ func (s *Server) handleCreateWorld(w http.ResponseWriter, r *http.Request) {
 	// so nothing else can reach it. Narration is captured in a buffer
 	// the scenario's closures keep writing to (the /output endpoint).
 	out := &bytes.Buffer{}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.defaultShards
+	}
 	b, err := scenario.Build(req.Scenario, scenario.Config{
 		Seed:    req.Seed,
 		Horizon: req.Horizon,
 		Verbose: req.Verbose,
 		Params:  req.Params,
 		Out:     out,
+		Shards:  shards,
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -483,6 +507,11 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Snapshots never carry execution strategy; the daemon's default
+	// sharding applies to restored worlds just like fresh builds.
+	if s.defaultShards > 1 {
+		b.World.SetShards(s.defaultShards)
+	}
 	s.finishCreate(w, req.ID, sn.info.Scenario, b, nil)
 }
 
@@ -499,6 +528,9 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
+	}
+	if s.defaultShards > 1 {
+		b.World.SetShards(s.defaultShards)
 	}
 	s.finishCreate(w, req.ID, sn.info.Scenario, b, nil)
 }

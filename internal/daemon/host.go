@@ -49,13 +49,16 @@ func newHost(id, scen string, b *scenario.Built, out *bytes.Buffer) *host {
 	return h
 }
 
-// loop is the world's single thread.
+// loop is the world's single thread. On shutdown it closes the world
+// (releasing the sharded execution mode's worker pool, if any) before
+// exiting — the loop owns the world, so this cannot race a command.
 func (h *host) loop() {
 	for {
 		select {
 		case fn := <-h.cmds:
 			fn()
 		case <-h.quit:
+			h.built.World.Close()
 			return
 		}
 	}

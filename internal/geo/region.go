@@ -1,0 +1,144 @@
+package geo
+
+import "math"
+
+// RegionMap partitions an axis-aligned arena into a fixed nx×ny grid of
+// rectangular tiles ("regions"), the spatial unit of the radio medium's
+// sharded execution mode. The partition is computed once, from the
+// arena bounds, a minimum tile edge, and a target region count, and is
+// immutable afterwards: region identity depends only on position, so
+// two runs of the same world classify every entity identically.
+//
+// The minimum tile edge is the conservative-lookahead contract: when it
+// is at least the maximum hearing range (env.MaxRangeForCutoff of the
+// strongest transmitter against the receive cutoff), an emission inside
+// one region can only be heard inside that region and its eight
+// neighbours, so region-local state needs at most a one-ring exchange.
+// Entities whose hearing circle crosses their region's boundary form
+// the region's border set (CrossesBoundary).
+//
+// Regions are numbered row-major from the arena's minimum corner:
+// region = iy*nx + ix.
+type RegionMap struct {
+	bounds       Rect
+	nx, ny       int
+	tileW, tileH float64
+}
+
+// PartitionRect partitions bounds into at most target regions whose
+// tile edges never drop below minTile. It grows the grid one axis at a
+// time — always splitting the axis with the larger current tile edge,
+// keeping tiles near-square — until the region count reaches target or
+// no axis can be split without violating minTile. A non-positive
+// minTile means "no lower bound" (the caller has no hearing cutoff to
+// honour); a target below 1 is treated as 1.
+//
+// The result always has at least one region; callers that need real
+// parallelism should check Regions() >= 2 and fall back to sequential
+// execution otherwise (an arena smaller than 2×minTile in both axes is
+// unpartitionable by contract, not an error).
+func PartitionRect(bounds Rect, minTile float64, target int) *RegionMap {
+	if target < 1 {
+		target = 1
+	}
+	w, h := bounds.Width(), bounds.Height()
+	maxNX, maxNY := 1, 1
+	if minTile > 0 {
+		maxNX = int(math.Floor(w / minTile))
+		maxNY = int(math.Floor(h / minTile))
+	} else {
+		// No hearing bound: allow up to target tiles per axis.
+		maxNX, maxNY = target, target
+	}
+	if maxNX < 1 {
+		maxNX = 1
+	}
+	if maxNY < 1 {
+		maxNY = 1
+	}
+	nx, ny := 1, 1
+	for nx*ny < target {
+		// Split the axis with the larger tile edge, when allowed.
+		growX := nx < maxNX
+		growY := ny < maxNY
+		if !growX && !growY {
+			break
+		}
+		if growX && (!growY || w/float64(nx) >= h/float64(ny)) {
+			nx++
+		} else {
+			ny++
+		}
+	}
+	return &RegionMap{
+		bounds: bounds,
+		nx:     nx,
+		ny:     ny,
+		tileW:  w / float64(nx),
+		tileH:  h / float64(ny),
+	}
+}
+
+// Bounds returns the partitioned arena rectangle.
+func (rm *RegionMap) Bounds() Rect { return rm.bounds }
+
+// Regions returns the number of regions (nx*ny, always >= 1).
+func (rm *RegionMap) Regions() int { return rm.nx * rm.ny }
+
+// Grid returns the partition's tile counts per axis.
+func (rm *RegionMap) Grid() (nx, ny int) { return rm.nx, rm.ny }
+
+// TileSize returns the tile edge lengths in metres.
+func (rm *RegionMap) TileSize() (w, h float64) { return rm.tileW, rm.tileH }
+
+// axisIndex maps a coordinate to a tile index on one axis, clamping
+// positions outside the arena (movers wrap or overshoot transiently)
+// into the nearest edge tile so every point has a region.
+func axisIndex(v, min, tile float64, n int) int {
+	i := int(math.Floor((v - min) / tile))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// RegionOf returns the region index owning p, row-major from the
+// minimum corner. Points outside the bounds clamp to the nearest edge
+// region.
+func (rm *RegionMap) RegionOf(p Point) int {
+	ix := axisIndex(p.X, rm.bounds.Min.X, rm.tileW, rm.nx)
+	iy := axisIndex(p.Y, rm.bounds.Min.Y, rm.tileH, rm.ny)
+	return iy*rm.nx + ix
+}
+
+// Tile returns region r's rectangle. It panics on an out-of-range
+// region index.
+func (rm *RegionMap) Tile(r int) Rect {
+	if r < 0 || r >= rm.nx*rm.ny {
+		panic("geo: region index out of range")
+	}
+	ix, iy := r%rm.nx, r/rm.nx
+	min := Pt(rm.bounds.Min.X+float64(ix)*rm.tileW, rm.bounds.Min.Y+float64(iy)*rm.tileH)
+	return Rect{Min: min, Max: Pt(min.X+rm.tileW, min.Y+rm.tileH)}
+}
+
+// CrossesBoundary reports whether a circle of the given radius around p
+// extends beyond p's own region tile — the border-set test: an entity
+// for which this is true can hear (or be heard) across a region
+// boundary, so cross-region exchange must consider it. An infinite or
+// NaN radius always crosses (no bound can contain it); a single-region
+// partition never does (there is no boundary to cross).
+func (rm *RegionMap) CrossesBoundary(p Point, radius float64) bool {
+	if rm.nx == 1 && rm.ny == 1 {
+		return false
+	}
+	if math.IsInf(radius, 1) || math.IsNaN(radius) {
+		return true
+	}
+	t := rm.Tile(rm.RegionOf(p))
+	return p.X-radius < t.Min.X || p.X+radius > t.Max.X ||
+		p.Y-radius < t.Min.Y || p.Y+radius > t.Max.Y
+}

@@ -1,0 +1,130 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartitionRectHonoursMinTile(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(1000, 600)}
+	rm := PartitionRect(b, 250, 8)
+	nx, ny := rm.Grid()
+	if nx > 4 || ny > 2 {
+		t.Fatalf("grid %dx%d splits below minTile: tile would be %gx%g", nx, ny, 1000.0/float64(nx), 600.0/float64(ny))
+	}
+	w, h := rm.TileSize()
+	if w < 250 || h < 250 {
+		t.Fatalf("tile %gx%g below minTile 250", w, h)
+	}
+	if rm.Regions() != nx*ny {
+		t.Fatalf("Regions()=%d want %d", rm.Regions(), nx*ny)
+	}
+}
+
+func TestPartitionRectTooSmallFallsToOneRegion(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(100, 80)}
+	rm := PartitionRect(b, 90, 4)
+	if rm.Regions() != 1 {
+		t.Fatalf("arena smaller than 2 tiles per axis must yield 1 region, got %d", rm.Regions())
+	}
+	if rm.CrossesBoundary(Pt(50, 40), 1e9) {
+		t.Fatal("single region has no boundary to cross")
+	}
+}
+
+func TestPartitionRectNoCutoffUsesTarget(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(1000, 1000)}
+	rm := PartitionRect(b, 0, 4)
+	if rm.Regions() < 4 {
+		t.Fatalf("without a minTile bound the target should be reachable: got %d regions", rm.Regions())
+	}
+}
+
+func TestPartitionRectStopsAtTarget(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(10000, 10000)}
+	rm := PartitionRect(b, 100, 4)
+	if rm.Regions() < 4 || rm.Regions() > 8 {
+		t.Fatalf("partition should stop near the target: got %d regions for target 4", rm.Regions())
+	}
+}
+
+func TestRegionOfRowMajorAndClamping(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(400, 400)}
+	rm := PartitionRect(b, 200, 4)
+	nx, ny := rm.Grid()
+	if nx != 2 || ny != 2 {
+		t.Fatalf("grid %dx%d, want 2x2", nx, ny)
+	}
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Pt(50, 50), 0},
+		{Pt(350, 50), 1},
+		{Pt(50, 350), 2},
+		{Pt(350, 350), 3},
+		// Outside the arena clamps to the nearest edge region.
+		{Pt(-10, -10), 0},
+		{Pt(500, 500), 3},
+		{Pt(500, -5), 1},
+	}
+	for _, c := range cases {
+		if got := rm.RegionOf(c.p); got != c.want {
+			t.Errorf("RegionOf(%v)=%d want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTileCoversItsRegion(t *testing.T) {
+	b := Rect{Min: Pt(-100, 50), Max: Pt(500, 650)}
+	rm := PartitionRect(b, 150, 8)
+	for r := 0; r < rm.Regions(); r++ {
+		tile := rm.Tile(r)
+		c := Pt((tile.Min.X+tile.Max.X)/2, (tile.Min.Y+tile.Max.Y)/2)
+		if got := rm.RegionOf(c); got != r {
+			t.Fatalf("center of tile %d classified as region %d", r, got)
+		}
+	}
+}
+
+func TestCrossesBoundary(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(400, 400)}
+	rm := PartitionRect(b, 200, 4)
+	// Deep inside tile 0 with a small radius: interior.
+	if rm.CrossesBoundary(Pt(100, 100), 50) {
+		t.Fatal("interior circle flagged as border")
+	}
+	// Same point, radius reaching the x=200 boundary: border.
+	if !rm.CrossesBoundary(Pt(100, 100), 150) {
+		t.Fatal("circle touching the region boundary not flagged")
+	}
+	// Near the shared corner every direction crosses.
+	if !rm.CrossesBoundary(Pt(199, 199), 10) {
+		t.Fatal("corner-adjacent circle not flagged")
+	}
+	// Unbounded hearing always crosses.
+	if !rm.CrossesBoundary(Pt(100, 100), math.Inf(1)) {
+		t.Fatal("infinite radius must cross")
+	}
+	if !rm.CrossesBoundary(Pt(100, 100), math.NaN()) {
+		t.Fatal("NaN radius must conservatively cross")
+	}
+	// The arena's outer edge is not a region boundary in the contract
+	// sense, but the tile test is conservative there too; pin it so the
+	// behavior is deliberate.
+	if !rm.CrossesBoundary(Pt(5, 100), 10) {
+		t.Fatal("circle crossing the arena edge should be conservative-border")
+	}
+}
+
+func TestRegionClassificationIsDeterministic(t *testing.T) {
+	b := Rect{Min: Pt(0, 0), Max: Pt(977, 613)}
+	a := PartitionRect(b, 123.5, 6)
+	c := PartitionRect(b, 123.5, 6)
+	for i := 0; i < 500; i++ {
+		p := Pt(float64(i)*1.954, float64((i*37)%613))
+		if a.RegionOf(p) != c.RegionOf(p) {
+			t.Fatalf("partition not reproducible at %v", p)
+		}
+	}
+}

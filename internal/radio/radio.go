@@ -183,10 +183,13 @@ type ledgerCell struct {
 }
 
 // ledger is a dense radio-ID-indexed interference accumulator, pooled
-// per Medium so the PHY hot path performs no per-transmission map or
-// slice allocation in steady state.
+// per Medium — or, in sharded mode, per region (home names the owning
+// region's pool, offset by one; 0 is the medium-wide pool) — so the
+// PHY hot path performs no per-transmission map or slice allocation in
+// steady state.
 type ledger struct {
 	epoch uint64
+	home  int32
 	cells []ledgerCell
 }
 
@@ -282,8 +285,19 @@ type Radio struct {
 	// radio's signal in both dBm and linear milliwatts, so the
 	// per-pair delivery, interference, and energy loops do zero
 	// math.Pow/math.Log10 for unmoved pairs. Entries are revalidated
-	// against both ends' linkGen and this radio's TxPowerDBm.
+	// against both ends' linkGen and this radio's TxPowerDBm. In
+	// sharded mode the row is region-owned state: the radio belongs to
+	// exactly one region, and during a parallel phase only the worker
+	// owning a receiver's region writes that receiver's entry.
 	gainTo []pairGain
+
+	// region is the index of the arena region owning this radio's
+	// position under the sharded execution mode (shard.go); 0 and
+	// meaningless when the medium runs sequentially. hearRange/hearPower
+	// memoize the hearing radius for border reclassification on moves.
+	region    int32
+	hearPower float64
+	hearRange float64
 }
 
 // pairGain is one directed cached link budget: the received power at
@@ -313,7 +327,18 @@ func (r *Radio) SetPos(p geo.Point) {
 	}
 	r.Pos = p
 	r.linkGen++ // all cached link gains to and from this radio are stale
-	if m := r.medium; m != nil && m.cutoffEnabled() && m.attached(r) {
+	m := r.medium
+	if m == nil {
+		return
+	}
+	m.physGen++
+	if !m.attached(r) {
+		return
+	}
+	if m.shard != nil && m.shard.rm != nil {
+		m.shardMove(r)
+	}
+	if m.cutoffEnabled() {
 		m.grid.Move(r.ID, p)
 		if m.globalInval {
 			m.topoGen++
@@ -329,6 +354,9 @@ func (r *Radio) SetChannel(ch int) {
 	ch = clampChannel(ch)
 	if ch == r.Channel {
 		return
+	}
+	if m := r.medium; m != nil {
+		m.physGen++
 	}
 	if m := r.medium; m != nil && m.attached(r) {
 		m.channelRemove(r)
@@ -459,6 +487,19 @@ type Medium struct {
 	// the band leaves it untouched.
 	chanGen [MaxChannel + 1]uint64
 
+	// physGen counts every PHY-relevant mutation routed through the
+	// medium's mutator methods: moves, retunes, attaches, detaches. The
+	// sharded commit loop (shard.go) compares it across receipt
+	// callbacks to detect a callback that perturbed the world mid-commit
+	// and fall back to inline sequential recomputation.
+	physGen uint64
+
+	// shard is the sharded-execution configuration, nil when the medium
+	// runs sequentially (the default). pendingShards carries the
+	// WithShards option value until construction completes.
+	shard         *shardState
+	pendingShards int
+
 	// Stats
 	Sent      uint64
 	Delivered uint64
@@ -477,6 +518,9 @@ func NewMedium(k *sim.Kernel, e *env.Environment, opts ...MediumOption) *Medium 
 		opt(m)
 	}
 	m.grid = geo.NewGrid(m.gridCell)
+	if m.pendingShards > 1 {
+		m.SetShards(m.pendingShards)
+	}
 	return m
 }
 
@@ -520,6 +564,10 @@ func (m *Medium) NewRadio(name string, pos geo.Point, channel int, txPowerDBm fl
 	m.grid.Insert(r.ID, pos) // bumps the destination cell's generation
 	m.topoGen++
 	m.chanGen[r.Channel]++
+	m.physGen++
+	if m.shard != nil && m.shard.rm != nil {
+		m.shardClassify(r)
+	}
 	return r
 }
 
@@ -557,6 +605,10 @@ func (m *Medium) Detach(r *Radio) {
 	r.cand, r.candCover = nil, nil
 	m.topoGen++
 	m.chanGen[r.Channel]++
+	m.physGen++
+	if m.shard != nil && m.shard.rm != nil {
+		m.shardRemove(r)
+	}
 }
 
 // Radios returns the number of attached radios.
@@ -805,6 +857,46 @@ func (m *Medium) acquireLedger() *ledger {
 	return l
 }
 
+// acquireLedgerFor is acquireLedger routed through the source radio's
+// region pool when the medium is sharded, so a region's transmissions
+// recycle region-local ledgers. Sharded ledgers are additionally
+// pre-sized to the full radio count: parallel interference phases must
+// never grow the shared cell slice.
+func (m *Medium) acquireLedgerFor(src *Radio) *ledger {
+	sh := m.shard
+	if sh == nil || sh.rm == nil {
+		return m.acquireLedger()
+	}
+	reg := sh.regions[src.region]
+	m.ledgerEpoch++
+	var l *ledger
+	if n := len(reg.ledgerFree); n > 0 {
+		l = reg.ledgerFree[n-1]
+		reg.ledgerFree = reg.ledgerFree[:n-1]
+	} else {
+		l = &ledger{}
+	}
+	l.epoch = m.ledgerEpoch
+	l.home = int32(src.region) + 1
+	m.presizeLedger(l)
+	return l
+}
+
+// releaseLedger returns a finished transmission's ledger to its home
+// pool: the owning region's when sharded (and the region still
+// exists — a repartition may have shrunk the region set mid-flight),
+// the medium-wide pool otherwise.
+func (m *Medium) releaseLedger(l *ledger) {
+	if h := int(l.home) - 1; h >= 0 {
+		if sh := m.shard; sh != nil && h < len(sh.regions) {
+			sh.regions[h].ledgerFree = append(sh.regions[h].ledgerFree, l)
+			return
+		}
+		l.home = 0
+	}
+	m.ledgerFree = append(m.ledgerFree, l)
+}
+
 // energyAtMW returns the total in-band energy a radio currently senses
 // in linear milliwatts: the channel-overlap-weighted sum of all active
 // transmissions' received power at the radio's position, plus the noise
@@ -888,18 +980,26 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 		End:     now + sim.Time(airSeconds*float64(sim.Second)),
 		payload: payload,
 		range2:  squared(m.hearingRange(r)),
-		led:     m.acquireLedger(),
+		led:     m.acquireLedgerFor(r),
 	}
 	// Record mutual interference with all currently active transmissions,
 	// oldest first.
 	hearers := m.candidatesFor(r)
-	for _, other := range m.active {
-		m.recordInterference(tx, other, m.candidatesFor(other.Src))
-		m.recordInterference(other, tx, hearers)
+	if len(m.active) > 0 && len(hearers) >= shardMinFanout && m.shardReady() {
+		m.transmitSharded(tx, hearers)
+	} else {
+		for _, other := range m.active {
+			m.recordInterference(tx, other, m.candidatesFor(other.Src))
+			m.recordInterference(other, tx, hearers)
+		}
 	}
 	m.active = append(m.active, tx) // Seq is monotonic: stays sorted
 	m.Sent++
-	m.kernel.ScheduleFn(tx.End-now, "radio.txEnd", finishTransmission, tx)
+	lane := 0
+	if sh := m.shard; sh != nil && sh.rm != nil {
+		lane = int(r.region) + 1 // region-local kernel lane for the txEnd event
+	}
+	m.kernel.ScheduleFnLane(lane, tx.End-now, "radio.txEnd", finishTransmission, tx)
 	return tx, nil
 }
 
@@ -964,29 +1064,33 @@ func (m *Medium) finish(tx *Transmission) {
 		m.rxScratch = inRange[:0]
 		receivers = inRange
 	}
-	for _, rx := range receivers {
-		if rx.OnReceive == nil || !m.attached(rx) {
-			continue
+	if len(receivers) >= shardMinFanout && m.shardReady() {
+		m.finishSharded(tx, receivers, noiseMW)
+	} else {
+		for _, rx := range receivers {
+			if rx.OnReceive == nil || !m.attached(rx) {
+				continue
+			}
+			ov := ChannelOverlap(tx.Src.Channel, rx.Channel)
+			if ov == 0 {
+				continue
+			}
+			mw, rssi := m.linkGain(tx.Src, rx)
+			sigMW := mw * ov
+			intMW := tx.led.at(rx.ID)
+			sinr := 10 * math.Log10(sigMW/(noiseMW+intMW))
+			ok := sinr >= tx.Rate.MinSINRdB
+			if ok {
+				m.Delivered++
+			} else {
+				m.Lost++
+			}
+			rx.OnReceive(Receipt{Tx: tx, RSSIdBm: rssi, SINRdB: sinr, OK: ok})
 		}
-		ov := ChannelOverlap(tx.Src.Channel, rx.Channel)
-		if ov == 0 {
-			continue
-		}
-		mw, rssi := m.linkGain(tx.Src, rx)
-		sigMW := mw * ov
-		intMW := tx.led.at(rx.ID)
-		sinr := 10 * math.Log10(sigMW/(noiseMW+intMW))
-		ok := sinr >= tx.Rate.MinSINRdB
-		if ok {
-			m.Delivered++
-		} else {
-			m.Lost++
-		}
-		rx.OnReceive(Receipt{Tx: tx, RSSIdBm: rssi, SINRdB: sinr, OK: ok})
 	}
 	// The ledger is no longer needed: recordInterference only targets
 	// active transmissions, and delivery above has consumed every cell.
-	m.ledgerFree = append(m.ledgerFree, tx.led)
+	m.releaseLedger(tx.led)
 	tx.led = nil
 }
 

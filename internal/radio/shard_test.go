@@ -1,0 +1,319 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"aroma/internal/env"
+	"aroma/internal/geo"
+	"aroma/internal/sim"
+)
+
+// denseWorld builds a dense medium with n radios across the band and a
+// receipt trace recorder, mirroring the benchDense topology. Every
+// receipt is appended to the trace in delivery order with its full
+// float64 payload, so two runs with equal traces delivered identical
+// receipts in an identical order.
+type denseWorld struct {
+	k      *sim.Kernel
+	m      *Medium
+	radios []*Radio
+	trace  strings.Builder
+}
+
+func newDenseWorld(n int, txPowerDBm float64, opts ...MediumOption) *denseWorld {
+	k := sim.New(1)
+	side := 1000.0
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, side, side)))
+	w := &denseWorld{k: k, m: NewMedium(k, e, opts...)}
+	cols := 32
+	for i := 0; i < n; i++ {
+		pos := geo.Pt(float64(i%cols)*(side/float64(cols)), float64(i/cols)*(side/float64(cols)))
+		r := w.m.NewRadio(fmt.Sprintf("r%d", i), pos, allChannels[i%len(allChannels)], txPowerDBm)
+		id := r.ID
+		r.OnReceive = func(rc Receipt) {
+			fmt.Fprintf(&w.trace, "%d<-%d %x %x %v\n", id, rc.Tx.Seq, math.Float64bits(rc.RSSIdBm), math.Float64bits(rc.SINRdB), rc.OK)
+		}
+		w.radios = append(w.radios, r)
+	}
+	return w
+}
+
+// run fires rounds of staggered overlapping bursts (and, when mobile,
+// interleaved movement) and returns the full receipt trace plus stats.
+func (w *denseWorld) run(rounds int, mobile bool) string {
+	const burst = 48
+	n := len(w.radios)
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < burst; j++ {
+			src := w.radios[(i*burst+j*17)%n]
+			lo, hi := j*n/burst, (j+1)*n/burst
+			w.k.Schedule(sim.Time(j)*50*sim.Microsecond, "test.tx", func() {
+				if mobile {
+					for idx := lo; idx < hi; idx++ {
+						r := w.radios[idx]
+						r.SetPos(geo.Pt(
+							math.Mod(r.Pos.X+7.3+float64(idx%5), 1000),
+							math.Mod(r.Pos.Y+4.1, 1000),
+						))
+					}
+				}
+				if _, err := w.m.Transmit(src, 2000, Rates[0], nil); err != nil {
+					panic(err)
+				}
+			})
+		}
+		w.k.Run()
+	}
+	fmt.Fprintf(&w.trace, "sent=%d delivered=%d lost=%d steps=%d now=%v\n",
+		w.m.Sent, w.m.Delivered, w.m.Lost, w.k.Steps(), w.k.Now())
+	return w.trace.String()
+}
+
+var shardTestOpts = []MediumOption{WithRxCutoffDBm(-100), WithGridCellM(50)}
+
+// The core digest guarantee at the medium level: the sharded execution
+// mode delivers bit-identical receipts in an identical order to the
+// sequential medium, static and mobile, across shard counts.
+func TestShardedDeliveryMatchesSequential(t *testing.T) {
+	for _, mobile := range []bool{false, true} {
+		seqW := newDenseWorld(240, 0, shardTestOpts...)
+		want := seqW.run(3, mobile)
+		for _, shards := range []int{2, 4} {
+			w := newDenseWorld(240, 0, shardTestOpts...)
+			if got := w.m.SetShards(shards); got != shards {
+				t.Fatalf("SetShards(%d)=%d, expected sharding to engage", shards, got)
+			}
+			if lay, ok := w.m.ShardLayout(); !ok || lay.Regions < 2 {
+				t.Fatalf("expected a multi-region layout, got %+v ok=%v", lay, ok)
+			}
+			got := w.run(3, mobile)
+			if got != want {
+				t.Errorf("mobile=%v shards=%d: sharded trace diverges from sequential (len %d vs %d)",
+					mobile, shards, len(got), len(want))
+			}
+			w.m.StopShards()
+		}
+	}
+}
+
+// WithShards at construction time must behave exactly like SetShards
+// after construction.
+func TestWithShardsOptionMatchesSetShards(t *testing.T) {
+	seqW := newDenseWorld(200, 0, shardTestOpts...)
+	want := seqW.run(2, false)
+	w := newDenseWorld(200, 0, append([]MediumOption{WithShards(4)}, shardTestOpts...)...)
+	if w.m.Shards() != 4 {
+		t.Fatalf("WithShards(4) not applied: Shards()=%d", w.m.Shards())
+	}
+	if got := w.run(2, false); got != want {
+		t.Error("WithShards-constructed medium diverges from sequential")
+	}
+	w.m.StopShards()
+}
+
+// Documented sequential fallbacks: n < 1, no receive cutoff, arena too
+// small for two regions. All return 1 and never error.
+func TestSetShardsFallbacks(t *testing.T) {
+	w := newDenseWorld(10, 0, shardTestOpts...)
+	for _, n := range []int{-3, 0, 1} {
+		if got := w.m.SetShards(n); got != 1 {
+			t.Errorf("SetShards(%d)=%d want 1", n, got)
+		}
+		if w.m.Shards() != 1 {
+			t.Errorf("after SetShards(%d): Shards()=%d want 1", n, w.m.Shards())
+		}
+	}
+	// No cutoff: unbounded hearing radius, no finite tile satisfies the
+	// lookahead contract.
+	k := sim.New(1)
+	e := env.New(k, geo.NewFloorPlan(geo.RectAt(0, 0, 1000, 1000)))
+	m := NewMedium(k, e)
+	if got := m.SetShards(4); got != 1 {
+		t.Errorf("SetShards without a cutoff = %d, want sequential fallback 1", got)
+	}
+	// Arena too small: a 0 dBm radio against -100 dBm hears ~100 m, and
+	// a 150 m arena cannot hold two 100 m tiles in any axis.
+	k2 := sim.New(1)
+	e2 := env.New(k2, geo.NewFloorPlan(geo.RectAt(0, 0, 150, 150)))
+	m2 := NewMedium(k2, e2, WithRxCutoffDBm(-100))
+	m2.NewRadio("a", geo.Pt(10, 10), 1, 0)
+	if got := m2.SetShards(4); got != 1 {
+		t.Errorf("SetShards on a too-small arena = %d, want sequential fallback 1", got)
+	}
+	if _, ok := m2.ShardLayout(); ok {
+		t.Error("fallback medium still reports a shard layout")
+	}
+}
+
+// Region membership and border sets must track attach, move, and
+// detach: every attached radio sits in exactly one region's member
+// set (its position's region), and is in the border set iff its
+// hearing circle crosses the tile boundary.
+func TestShardRegionMaintenance(t *testing.T) {
+	w := newDenseWorld(120, 0, shardTestOpts...)
+	if got := w.m.SetShards(4); got != 4 {
+		t.Fatalf("SetShards(4)=%d", got)
+	}
+	check := func(when string) {
+		t.Helper()
+		sh := w.m.shard
+		total := 0
+		for _, reg := range sh.regions {
+			total += len(reg.members)
+			for _, r := range reg.members {
+				if int(r.region) != reg.id {
+					t.Fatalf("%s: radio %d in region %d's members but tagged %d", when, r.ID, reg.id, r.region)
+				}
+				if got := sh.rm.RegionOf(r.Pos); got != reg.id {
+					t.Fatalf("%s: radio %d at %v classified %d, position says %d", when, r.ID, r.Pos, reg.id, got)
+				}
+				wantBorder := sh.rm.CrossesBoundary(r.Pos, w.m.hearingRange(r))
+				inBorder := false
+				for _, b := range reg.border {
+					if b == r {
+						inBorder = true
+					}
+				}
+				if wantBorder != inBorder {
+					t.Fatalf("%s: radio %d border=%v want %v", when, r.ID, inBorder, wantBorder)
+				}
+			}
+		}
+		if total != w.m.Radios() {
+			t.Fatalf("%s: region members total %d, attached %d", when, total, w.m.Radios())
+		}
+	}
+	check("initial")
+	// Sweep a radio across the arena: region transfers and border flips.
+	r := w.radios[7]
+	for x := 5.0; x < 1000; x += 33 {
+		r.SetPos(geo.Pt(x, 481))
+		check(fmt.Sprintf("move x=%g", x))
+	}
+	w.m.Detach(r)
+	check("detach")
+	nr := w.m.NewRadio("late", geo.Pt(777, 123), 3, 0)
+	check("attach")
+	nr.SetPos(geo.Pt(3, 3))
+	check("attach+move")
+	w.m.StopShards()
+}
+
+// The scramble fault injection reverses the commit order; the receipt
+// trace must diverge from the sequential ordering while the delivery
+// counts stay equal — exactly the class of bug (merge order) the
+// determinism suite exists to catch.
+func TestScrambledCommitDiverges(t *testing.T) {
+	seqW := newDenseWorld(240, 0, shardTestOpts...)
+	want := seqW.run(2, false)
+	w := newDenseWorld(240, 0, shardTestOpts...)
+	if got := w.m.SetShards(2); got != 2 {
+		t.Fatalf("SetShards(2)=%d", got)
+	}
+	w.m.ScrambleShardCommit(true)
+	got := w.run(2, false)
+	if got == want {
+		t.Fatal("scrambled commit produced the sequential trace: the fault injection is dead and the suite would miss merge-order bugs")
+	}
+	if seqW.m.Delivered != w.m.Delivered || seqW.m.Lost != w.m.Lost {
+		t.Fatalf("scramble changed outcomes, not just order: delivered %d/%d lost %d/%d",
+			seqW.m.Delivered, w.m.Delivered, seqW.m.Lost, w.m.Lost)
+	}
+	w.m.StopShards()
+}
+
+// A receipt callback that mutates the world mid-commit (detach, move,
+// retune of a later receiver) must observe sequential semantics: the
+// physGen staleness check falls back to inline recomputation.
+func TestShardedCallbackMutationMidCommit(t *testing.T) {
+	build := func(shards int) (*denseWorld, string) {
+		w := newDenseWorld(240, 0, shardTestOpts...)
+		if shards > 1 {
+			if got := w.m.SetShards(shards); got != shards {
+				panic("sharding did not engage")
+			}
+		}
+		// The lowest-ID radio sabotages each delivery round: on every
+		// receipt it moves one later radio, retunes another, and
+		// detaches a third (once). Sequential and sharded runs must
+		// agree on the resulting receipts.
+		saboteur := w.radios[0]
+		victimMove, victimTune, victimDetach := w.radios[200], w.radios[210], w.radios[220]
+		detached := false
+		inner := saboteur.OnReceive
+		saboteur.OnReceive = func(rc Receipt) {
+			inner(rc)
+			victimMove.SetPos(geo.Pt(victimMove.Pos.X+11, victimMove.Pos.Y))
+			victimTune.SetChannel(victimTune.Channel%MaxChannel + 1)
+			if !detached {
+				detached = true
+				w.m.Detach(victimDetach)
+			}
+		}
+		return w, w.run(2, false)
+	}
+	_, want := build(1)
+	for _, shards := range []int{2, 4} {
+		if _, got := build(shards); got != want {
+			t.Errorf("shards=%d: mid-commit mutations diverge from sequential semantics", shards)
+		}
+	}
+}
+
+// Sharded transmissions draw ledgers from their source region's pool
+// and return them there.
+func TestShardedLedgersAreRegionPooled(t *testing.T) {
+	w := newDenseWorld(120, 0, shardTestOpts...)
+	if got := w.m.SetShards(4); got != 4 {
+		t.Fatalf("SetShards(4)=%d", got)
+	}
+	w.run(2, false)
+	pooled := 0
+	for _, reg := range w.m.shard.regions {
+		pooled += len(reg.ledgerFree)
+	}
+	if pooled == 0 {
+		t.Fatal("no ledgers returned to region pools after sharded traffic")
+	}
+	if len(w.m.ledgerFree) != 0 {
+		t.Fatalf("%d ledgers leaked into the medium-wide pool during sharded execution", len(w.m.ledgerFree))
+	}
+	w.m.StopShards()
+}
+
+// A radio louder than the partition's sizing power marks the layout
+// stale; the next event rebuilds with tiles covering the new hearing
+// circle. A 25 dBm radio against the -100 dBm cutoff hears ~680 m, so
+// the 1000 m arena collapses to a single region: the engine must fall
+// back to sequential execution mid-run — silently, never an error —
+// and the run stays digest-equal to sequential.
+func TestShardLayoutRebuildOnLouderRadio(t *testing.T) {
+	seqW := newDenseWorld(200, 0, shardTestOpts...)
+	seqW.m.NewRadio("loud", geo.Pt(500, 500), 6, 25).OnReceive = func(Receipt) {}
+	want := seqW.run(2, false)
+
+	w := newDenseWorld(200, 0, shardTestOpts...)
+	if got := w.m.SetShards(4); got != 4 {
+		t.Fatalf("SetShards(4)=%d", got)
+	}
+	before, _ := w.m.ShardLayout()
+	if before.Regions < 2 {
+		t.Fatalf("expected a multi-region layout before the loud attach, got %d", before.Regions)
+	}
+	w.m.NewRadio("loud", geo.Pt(500, 500), 6, 25).OnReceive = func(Receipt) {}
+	if !w.m.shard.layoutStale {
+		t.Fatal("louder radio did not mark the layout stale")
+	}
+	got := w.run(2, false)
+	after, _ := w.m.ShardLayout()
+	if after.Regions != 1 {
+		t.Fatalf("rebuild did not coarsen the partition to the single-region fallback: %d -> %d regions", before.Regions, after.Regions)
+	}
+	if got != want {
+		t.Error("post-rebuild sharded trace diverges from sequential")
+	}
+	w.m.StopShards()
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Scheduling the same workload across many lanes must fire in exactly
+// the order a single-lane kernel fires it: the coordinator always picks
+// the global (at, seq) minimum, so lane layout is invisible.
+func TestLanesPreserveFiringOrder(t *testing.T) {
+	run := func(lanes int) []int {
+		k := New(1)
+		k.ConfigureLanes(lanes)
+		var got []int
+		// Deliberately interleaved times and ties: events 0..29, times
+		// cycle 5,3,5,1,... so same-time events must fire in schedule
+		// (seq) order regardless of lane.
+		for i := 0; i < 30; i++ {
+			i := i
+			lane := 0
+			if lanes > 1 {
+				lane = i % lanes
+			}
+			at := Time((i * 7 % 5) * int(Millisecond))
+			k.ScheduleFnLane(lane, at, "ev", func(any) { got = append(got, i) }, nil)
+		}
+		k.Run()
+		return got
+	}
+	want := run(1)
+	for _, lanes := range []int{2, 3, 8} {
+		if got := run(lanes); !reflect.DeepEqual(got, want) {
+			t.Fatalf("lanes=%d firing order %v != single-lane %v", lanes, got, want)
+		}
+	}
+}
+
+func TestConfigureLanesGrowsNeverShrinks(t *testing.T) {
+	k := New(1)
+	if k.Lanes() != 1 {
+		t.Fatalf("new kernel has %d lanes, want 1", k.Lanes())
+	}
+	k.ConfigureLanes(4)
+	if k.Lanes() != 4 {
+		t.Fatalf("after ConfigureLanes(4): %d lanes", k.Lanes())
+	}
+	k.ConfigureLanes(2)
+	if k.Lanes() != 4 {
+		t.Fatalf("ConfigureLanes must not shrink: %d lanes", k.Lanes())
+	}
+	k.ConfigureLanes(0)
+	if k.Lanes() != 4 {
+		t.Fatalf("ConfigureLanes(0) must be a no-op: %d lanes", k.Lanes())
+	}
+}
+
+func TestScheduleFnLaneOutOfRangeFallsBackToLaneZero(t *testing.T) {
+	k := New(1)
+	k.ConfigureLanes(2)
+	fired := 0
+	e1 := k.ScheduleFnLane(-1, Millisecond, "neg", func(any) { fired++ }, nil)
+	e2 := k.ScheduleFnLane(99, Millisecond, "big", func(any) { fired++ }, nil)
+	if e1.lane != 0 || e2.lane != 0 {
+		t.Fatalf("out-of-range lanes must clamp to 0, got %d and %d", e1.lane, e2.lane)
+	}
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2", fired)
+	}
+}
+
+func TestCancelAcrossLanes(t *testing.T) {
+	k := New(1)
+	k.ConfigureLanes(3)
+	fired := ""
+	a := k.ScheduleFnLane(1, Millisecond, "a", func(any) { fired += "a" }, nil)
+	k.ScheduleFnLane(2, 2*Millisecond, "b", func(any) { fired += "b" }, nil)
+	if !k.Cancel(a) {
+		t.Fatal("cancel of pending cross-lane event failed")
+	}
+	if k.Cancel(a) {
+		t.Fatal("second cancel must be a no-op")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending=%d want 1", k.Pending())
+	}
+	k.Run()
+	if fired != "b" {
+		t.Fatalf("fired %q want \"b\"", fired)
+	}
+}
+
+// Slot recycling is per-lane: a stale handle into one lane must stay
+// inert even when another lane reuses the same slot index.
+func TestStaleHandleIsLaneLocal(t *testing.T) {
+	k := New(1)
+	k.ConfigureLanes(2)
+	e := k.ScheduleFnLane(1, Millisecond, "first", func(any) {}, nil)
+	k.Run()
+	// Re-tenant slot 0 of lane 1; the old handle must not resurrect.
+	k.ScheduleFnLane(1, Millisecond, "second", func(any) {}, nil)
+	if e.Pending() {
+		t.Fatal("stale handle reports pending after slot reuse")
+	}
+	if e.Label() != "" {
+		t.Fatalf("stale handle leaks label %q", e.Label())
+	}
+	if k.Cancel(e) {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+}
+
+// ExportState must be lane-layout independent: the same logical
+// schedule exported from a 1-lane and a 4-lane kernel is identical.
+func TestExportStateLaneIndependent(t *testing.T) {
+	build := func(lanes int) State {
+		k := New(9)
+		k.ConfigureLanes(lanes)
+		for i := 0; i < 12; i++ {
+			lane := 0
+			if lanes > 1 {
+				lane = i % lanes
+			}
+			k.ScheduleFnLane(lane, Time(i%4)*Millisecond, "ev", func(any) {}, nil)
+		}
+		k.RunUntil(Millisecond) // fire a prefix, leave the rest pending
+		return k.ExportState()
+	}
+	a, b := build(1), build(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("export differs across lane layouts:\n1 lane: %+v\n4 lanes: %+v", a, b)
+	}
+	if len(a.Pending) == 0 {
+		t.Fatal("test expected pending events to compare")
+	}
+}
+
+func TestNextAtScansAllLanes(t *testing.T) {
+	k := New(1)
+	k.ConfigureLanes(3)
+	if _, ok := k.NextAt(); ok {
+		t.Fatal("empty kernel reports a next event")
+	}
+	k.ScheduleFnLane(2, 5*Millisecond, "late", func(any) {}, nil)
+	early := k.ScheduleFnLane(1, 2*Millisecond, "early", func(any) {}, nil)
+	if at, ok := k.NextAt(); !ok || at != 2*Millisecond {
+		t.Fatalf("NextAt=%v,%v want 2ms,true", at, ok)
+	}
+	// Cancelling the early head must surface the other lane's event.
+	k.Cancel(early)
+	if at, ok := k.NextAt(); !ok || at != 5*Millisecond {
+		t.Fatalf("after cancel NextAt=%v,%v want 5ms,true", at, ok)
+	}
+}

@@ -22,6 +22,20 @@
 // plain function plus one argument and allocates nothing when the
 // argument is a pointer.
 //
+// # Lanes
+//
+// The event store can be split into independent lanes — one pooled slot
+// array, free list, and 4-ary heap each — so spatially partitioned
+// worlds can keep each region's events in region-local memory
+// (ConfigureLanes, ScheduleFnLane). The virtual clock stays shared: a
+// single coordinator always executes the globally earliest (at, seq)
+// event across every lane, so the execution order — and therefore every
+// digest — is identical to a single-lane kernel regardless of how
+// events are distributed over lanes. Sequence numbers are minted from
+// one kernel-wide counter for the same reason. A kernel starts with one
+// lane, and single-lane kernels keep a dedicated fast path with no
+// cross-lane scan.
+//
 // The zero value of Kernel is not usable; create one with New.
 package sim
 
@@ -63,8 +77,8 @@ const (
 	recCancelled // cancelled but still parked in the heap (lazy removal)
 )
 
-// record is one pooled event slot. Slots are recycled through the
-// kernel's free list; gen increments every time a slot is released, so
+// record is one pooled event slot. Slots are recycled through their
+// lane's free list; gen increments every time a slot is released, so
 // handles minted for an earlier tenancy no longer match.
 type record struct {
 	at    Time
@@ -77,6 +91,17 @@ type record struct {
 	state uint8
 }
 
+// eventLane is one region-local event store: pooled slot storage, its
+// recycling free list, and a 4-ary min-heap of slot indices ordered by
+// (at, seq). Lane 0 is the default store; spatially sharded worlds give
+// each region its own lane so a region's timer churn stays in memory
+// that region's worker owns.
+type eventLane struct {
+	pool []record // slot storage; grows, never shrinks
+	free []int32  // recycled slot indices
+	heap []int32  // 4-ary min-heap of slot indices, ordered by (at, seq)
+}
+
 // Event is a handle to a scheduled callback. It is a small value (copy
 // freely; the zero value is inert) identifying one tenancy of a pooled
 // kernel slot. After the event fires or is cancelled, the slot is
@@ -85,9 +110,14 @@ type record struct {
 // reused for an unrelated event.
 type Event struct {
 	k    *Kernel
+	lane int32
 	slot int32
 	gen  uint32
 }
+
+// rec returns the pool record the handle points at; callers must have
+// checked e.k != nil.
+func (e Event) rec() *record { return &e.k.lanes[e.lane].pool[e.slot] }
 
 // Pending reports whether the event is still scheduled to fire: it was
 // scheduled, and has not yet fired or been cancelled.
@@ -95,7 +125,7 @@ func (e Event) Pending() bool {
 	if e.k == nil {
 		return false
 	}
-	r := &e.k.pool[e.slot]
+	r := e.rec()
 	return r.gen == e.gen && r.state == recPending
 }
 
@@ -105,7 +135,7 @@ func (e Event) At() Time {
 	if !e.Pending() {
 		return 0
 	}
-	return e.k.pool[e.slot].at
+	return e.rec().at
 }
 
 // Label returns the diagnostic label given at scheduling time, or ""
@@ -114,7 +144,7 @@ func (e Event) Label() string {
 	if !e.Pending() {
 		return ""
 	}
-	return e.k.pool[e.slot].label
+	return e.rec().label
 }
 
 // Kernel is a deterministic discrete-event simulator.
@@ -124,13 +154,11 @@ func (e Event) Label() string {
 // Kernel per goroutine (experiments that want parallelism run independent
 // kernels with different seeds).
 type Kernel struct {
-	now  Time
-	pool []record // slot storage; grows, never shrinks
-	free []int32  // recycled slot indices
-	heap []int32  // 4-ary min-heap of slot indices, ordered by (at, seq)
-	live int      // scheduled and not yet fired/cancelled
+	now   Time
+	lanes []eventLane // lane 0 always exists
+	live  int         // scheduled and not yet fired/cancelled, across lanes
 
-	seq     uint64
+	seq     uint64 // kernel-wide: the deterministic FIFO tiebreak spans lanes
 	rng     *rand.Rand
 	src     *countingSource
 	seed    int64
@@ -144,9 +172,10 @@ type Kernel struct {
 func New(seed int64) *Kernel {
 	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	return &Kernel{
-		rng:  rand.New(src),
-		src:  src,
-		seed: seed,
+		lanes: make([]eventLane, 1),
+		rng:   rand.New(src),
+		src:   src,
+		seed:  seed,
 	}
 }
 
@@ -167,38 +196,53 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // cancelled events not yet lazily removed from the heap).
 func (k *Kernel) Pending() int { return k.live }
 
+// Lanes returns the number of event lanes (at least 1).
+func (k *Kernel) Lanes() int { return len(k.lanes) }
+
+// ConfigureLanes grows the kernel to at least n event lanes. Lanes are
+// never removed: handles carry lane indices, and shrinking would strand
+// pending events. Growing is cheap (empty stores) and changes no
+// observable behavior — execution order and ExportState are lane-layout
+// independent by construction. n below the current count is a no-op.
+func (k *Kernel) ConfigureLanes(n int) {
+	for len(k.lanes) < n {
+		k.lanes = append(k.lanes, eventLane{})
+	}
+}
+
 // ErrPastEvent is returned by ScheduleAt when the requested time is before
 // the current virtual time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
-// alloc takes a slot from the free list (or grows the pool), stamps it
-// with the next sequence number, and pushes it onto the heap.
-func (k *Kernel) alloc(at Time, label string) int32 {
+// alloc takes a slot from the lane's free list (or grows its pool),
+// stamps it with the next kernel-wide sequence number, and pushes it
+// onto the lane's heap.
+func (k *Kernel) alloc(ln *eventLane, at Time, label string) int32 {
 	var slot int32
-	if n := len(k.free); n > 0 {
-		slot = k.free[n-1]
-		k.free = k.free[:n-1]
+	if n := len(ln.free); n > 0 {
+		slot = ln.free[n-1]
+		ln.free = ln.free[:n-1]
 	} else {
-		k.pool = append(k.pool, record{})
-		slot = int32(len(k.pool) - 1)
+		ln.pool = append(ln.pool, record{})
+		slot = int32(len(ln.pool) - 1)
 	}
 	k.seq++
-	r := &k.pool[slot]
+	r := &ln.pool[slot]
 	r.at, r.seq, r.label, r.state = at, k.seq, label, recPending
 	k.live++
-	k.heapPush(slot)
+	heapPush(ln, slot)
 	return slot
 }
 
 // release recycles a slot: its generation bumps so outstanding handles
 // go stale, and callback references are dropped so the pool does not
 // pin dead closures or arguments.
-func (k *Kernel) release(slot int32) {
-	r := &k.pool[slot]
+func (k *Kernel) release(ln *eventLane, slot int32) {
+	r := &ln.pool[slot]
 	r.fn, r.fnArg, r.arg, r.label = nil, nil, nil, ""
 	r.state = recFree
 	r.gen++
-	k.free = append(k.free, slot)
+	ln.free = append(ln.free, slot)
 }
 
 // Schedule queues fn to run after delay d (relative to Now). A negative
@@ -211,23 +255,37 @@ func (k *Kernel) Schedule(d Time, label string, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
-	slot := k.alloc(k.now+d, label)
-	k.pool[slot].fn = fn
-	return Event{k: k, slot: slot, gen: k.pool[slot].gen}
+	ln := &k.lanes[0]
+	slot := k.alloc(ln, k.now+d, label)
+	ln.pool[slot].fn = fn
+	return Event{k: k, slot: slot, gen: ln.pool[slot].gen}
 }
 
-// ScheduleFn queues fn(arg) to run after delay d. It is the
+// ScheduleFn queues fn(arg) to run after delay d on lane 0. It is the
 // allocation-free fast path: fn is a plain function value (not a
 // closure) and arg is typically a pointer to the state the callback
 // needs, so nothing escapes to the heap. Semantics match Schedule.
 func (k *Kernel) ScheduleFn(d Time, label string, fn func(any), arg any) Event {
+	return k.ScheduleFnLane(0, d, label, fn, arg)
+}
+
+// ScheduleFnLane is ScheduleFn targeting a specific event lane. Firing
+// order is unaffected — the coordinator always runs the globally
+// earliest event — so the lane is purely a memory-locality hint: sharded
+// worlds schedule a region's events on that region's lane. An
+// out-of-range lane falls back to lane 0 (conservative, never an error).
+func (k *Kernel) ScheduleFnLane(lane int, d Time, label string, fn func(any), arg any) Event {
 	if d < 0 {
 		d = 0
 	}
-	slot := k.alloc(k.now+d, label)
-	r := &k.pool[slot]
+	if lane < 0 || lane >= len(k.lanes) {
+		lane = 0
+	}
+	ln := &k.lanes[lane]
+	slot := k.alloc(ln, k.now+d, label)
+	r := &ln.pool[slot]
 	r.fnArg, r.arg = fn, arg
-	return Event{k: k, slot: slot, gen: r.gen}
+	return Event{k: k, lane: int32(lane), slot: slot, gen: r.gen}
 }
 
 // ScheduleAt queues fn to run at absolute virtual time at.
@@ -235,9 +293,10 @@ func (k *Kernel) ScheduleAt(at Time, label string, fn func()) (Event, error) {
 	if at < k.now {
 		return Event{}, fmt.Errorf("%w: at=%v now=%v (%s)", ErrPastEvent, at, k.now, label)
 	}
-	slot := k.alloc(at, label)
-	k.pool[slot].fn = fn
-	return Event{k: k, slot: slot, gen: k.pool[slot].gen}, nil
+	ln := &k.lanes[0]
+	slot := k.alloc(ln, at, label)
+	ln.pool[slot].fn = fn
+	return Event{k: k, slot: slot, gen: ln.pool[slot].gen}, nil
 }
 
 // Cancel deschedules a pending event. Cancelling the zero Event, an
@@ -245,13 +304,13 @@ func (k *Kernel) ScheduleAt(at Time, label string, fn func()) (Event, error) {
 // whose pool slot has been recycled is a no-op. Cancel reports whether
 // the event was actually descheduled by this call.
 //
-// Cancellation is lazy: the slot stays parked in the heap and is
+// Cancellation is lazy: the slot stays parked in its lane's heap and is
 // reclaimed when it surfaces at the top, so Cancel is O(1).
 func (k *Kernel) Cancel(e Event) bool {
 	if e.k != k || k == nil {
 		return false
 	}
-	r := &k.pool[e.slot]
+	r := e.rec()
 	if r.gen != e.gen || r.state != recPending {
 		return false
 	}
@@ -269,34 +328,94 @@ func (k *Kernel) Stop() { k.stopped = true }
 // later than limit. A zero limit removes the horizon.
 func (k *Kernel) SetHorizon(limit Time) { k.maxTime = limit }
 
+// peekLane returns the lane whose heap head is the globally earliest
+// pending event, reclaiming cancelled heads along the way, or nil when
+// every lane is drained. Ordering is by (at, seq) — identical to a
+// single merged heap, which is what keeps multi-lane execution
+// bit-identical to the single-lane kernel.
+func (k *Kernel) peekLane() *eventLane {
+	var best *eventLane
+	var bestAt Time
+	var bestSeq uint64
+	for li := range k.lanes {
+		ln := &k.lanes[li]
+		for len(ln.heap) > 0 {
+			slot := ln.heap[0]
+			r := &ln.pool[slot]
+			if r.state == recCancelled {
+				heapPopRoot(ln)
+				k.release(ln, slot)
+				continue
+			}
+			if best == nil || r.at < bestAt || (r.at == bestAt && r.seq < bestSeq) {
+				best, bestAt, bestSeq = ln, r.at, r.seq
+			}
+			break
+		}
+	}
+	return best
+}
+
+// NextAt returns the firing time of the earliest pending event, or
+// false when the queue is empty. Cancelled events surfacing at lane
+// heads are reclaimed on the way.
+func (k *Kernel) NextAt() (Time, bool) {
+	ln := k.peekLane()
+	if ln == nil {
+		return 0, false
+	}
+	return ln.pool[ln.heap[0]].at, true
+}
+
+// fire pops and executes the event at ln's heap head, advancing the
+// clock to its timestamp.
+func (k *Kernel) fire(ln *eventLane, slot int32) {
+	r := &ln.pool[slot]
+	heapPopRoot(ln)
+	k.now = r.at
+	fn, fnArg, arg := r.fn, r.fnArg, r.arg
+	k.live--
+	k.release(ln, slot) // before the callback: it may schedule into this slot
+	k.steps++
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
+}
+
 // Step executes the single earliest pending event and advances the clock to
 // its timestamp. It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for len(k.heap) > 0 {
-		slot := k.heap[0]
-		r := &k.pool[slot]
-		if r.state == recCancelled {
-			k.heapPopRoot()
-			k.release(slot)
-			continue
+	if len(k.lanes) == 1 {
+		// Single-lane fast path: no cross-lane scan on the per-event
+		// hot path of unsharded worlds.
+		ln := &k.lanes[0]
+		for len(ln.heap) > 0 {
+			slot := ln.heap[0]
+			r := &ln.pool[slot]
+			if r.state == recCancelled {
+				heapPopRoot(ln)
+				k.release(ln, slot)
+				continue
+			}
+			if k.maxTime != 0 && r.at > k.maxTime {
+				return false
+			}
+			k.fire(ln, slot)
+			return true
 		}
-		if k.maxTime != 0 && r.at > k.maxTime {
-			return false
-		}
-		k.heapPopRoot()
-		k.now = r.at
-		fn, fnArg, arg := r.fn, r.fnArg, r.arg
-		k.live--
-		k.release(slot) // before the callback: it may schedule into this slot
-		k.steps++
-		if fnArg != nil {
-			fnArg(arg)
-		} else {
-			fn()
-		}
-		return true
+		return false
 	}
-	return false
+	ln := k.peekLane()
+	if ln == nil {
+		return false
+	}
+	if k.maxTime != 0 && ln.pool[ln.heap[0]].at > k.maxTime {
+		return false
+	}
+	k.fire(ln, ln.heap[0])
+	return true
 }
 
 // Run executes events until the queue drains, Stop is called, or the
@@ -316,26 +435,20 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 	start := k.steps
 	k.stopped = false
 	for !k.stopped {
-		if len(k.heap) == 0 {
+		ln := k.peekLane()
+		if ln == nil {
 			break
 		}
-		slot := k.heap[0]
-		r := &k.pool[slot]
-		if r.state == recCancelled {
-			k.heapPopRoot()
-			k.release(slot)
-			continue
-		}
-		if r.at > deadline {
+		at := ln.pool[ln.heap[0]].at
+		if at > deadline {
 			break
 		}
-		if k.maxTime != 0 && r.at > k.maxTime {
-			// Beyond the horizon: Step would refuse this event, so
-			// retrying it here would spin forever. The clock still
-			// advances to the deadline below.
+		if k.maxTime != 0 && at > k.maxTime {
+			// Beyond the horizon: firing would violate SetHorizon, so
+			// stop here. The clock still advances to the deadline below.
 			break
 		}
-		k.Step()
+		k.fire(ln, ln.heap[0])
 	}
 	if k.now < deadline {
 		k.now = deadline
@@ -346,11 +459,12 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 // RunFor runs the simulation for d virtual time from the current instant.
 func (k *Kernel) RunFor(d Time) uint64 { return k.RunUntil(k.now + d) }
 
-// heapLess orders slots by (at, seq); seq is unique, so the order is
-// total and every correct heap pops the exact same sequence — which is
-// what keeps runs bit-reproducible across queue implementations.
-func (k *Kernel) heapLess(a, b int32) bool {
-	ra, rb := &k.pool[a], &k.pool[b]
+// heapLess orders slots by (at, seq); seq is unique kernel-wide, so the
+// order is total and every correct heap pops the exact same sequence —
+// which is what keeps runs bit-reproducible across queue
+// implementations and lane layouts.
+func heapLess(ln *eventLane, a, b int32) bool {
+	ra, rb := &ln.pool[a], &ln.pool[b]
 	if ra.at != rb.at {
 		return ra.at < rb.at
 	}
@@ -363,29 +477,29 @@ func (k *Kernel) heapLess(a, b int32) bool {
 // modern cores because the four-child minimum scan stays in one cache
 // line of the index slice. Lazy cancellation means slots never leave
 // the heap from the middle, so no position tracking is needed.
-func (k *Kernel) heapPush(slot int32) {
-	k.heap = append(k.heap, slot)
-	k.siftUp(len(k.heap) - 1)
+func heapPush(ln *eventLane, slot int32) {
+	ln.heap = append(ln.heap, slot)
+	siftUp(ln, len(ln.heap)-1)
 }
 
-// heapPopRoot removes the minimum slot from the heap (the caller has
-// already read k.heap[0]).
-func (k *Kernel) heapPopRoot() {
-	n := len(k.heap) - 1
-	last := k.heap[n]
-	k.heap = k.heap[:n]
+// heapPopRoot removes the minimum slot from the lane's heap (the caller
+// has already read ln.heap[0]).
+func heapPopRoot(ln *eventLane) {
+	n := len(ln.heap) - 1
+	last := ln.heap[n]
+	ln.heap = ln.heap[:n]
 	if n > 0 {
-		k.heap[0] = last
-		k.siftDown(0)
+		ln.heap[0] = last
+		siftDown(ln, 0)
 	}
 }
 
-func (k *Kernel) siftUp(i int) {
-	h := k.heap
+func siftUp(ln *eventLane, i int) {
+	h := ln.heap
 	moved := h[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !k.heapLess(moved, h[parent]) {
+		if !heapLess(ln, moved, h[parent]) {
 			break
 		}
 		h[i] = h[parent]
@@ -394,8 +508,8 @@ func (k *Kernel) siftUp(i int) {
 	h[i] = moved
 }
 
-func (k *Kernel) siftDown(i int) {
-	h := k.heap
+func siftDown(ln *eventLane, i int) {
+	h := ln.heap
 	n := len(h)
 	moved := h[i]
 	for {
@@ -409,11 +523,11 @@ func (k *Kernel) siftDown(i int) {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if k.heapLess(h[c], h[best]) {
+			if heapLess(ln, h[c], h[best]) {
 				best = c
 			}
 		}
-		if !k.heapLess(h[best], moved) {
+		if !heapLess(ln, h[best], moved) {
 			break
 		}
 		h[i] = h[best]

@@ -40,7 +40,10 @@ type WorldInfo struct {
 	Steps    uint64   `json:"steps"`
 	Pending  int      `json:"pending"`
 	Forks    int      `json:"forks"`
-	Digest   string   `json:"digest"`
+	// Shards is the world's effective shard worker count (1 =
+	// sequential execution; digests are identical either way).
+	Shards int    `json:"shards"`
+	Digest string `json:"digest"`
 }
 
 // CreateWorldRequest builds a new world from a registered scenario.
@@ -49,11 +52,14 @@ type CreateWorldRequest struct {
 	ID string `json:"id,omitempty"`
 	// Scenario is a world-registered scenario name.
 	Scenario string `json:"scenario"`
-	// Seed, Horizon, Verbose, Params form the scenario.Config.
+	// Seed, Horizon, Verbose, Params, Shards form the scenario.Config.
+	// Shards 0 means the daemon's default (its -shards flag); values < 2
+	// run sequentially. Sharding never changes digests.
 	Seed    int64             `json:"seed,omitempty"`
 	Horizon sim.Time          `json:"horizon,omitempty"`
 	Verbose bool              `json:"verbose,omitempty"`
 	Params  map[string]string `json:"params,omitempty"`
+	Shards  int               `json:"shards,omitempty"`
 }
 
 // RunRequest advances a hosted world. Exactly one of the fields should

@@ -57,7 +57,10 @@
 // Not covered: runs with different seeds, different Go versions'
 // floating-point library behaviour across architectures, and wall-clock
 // properties (a run's real duration). Concurrency is not part of the
-// model: a World and its kernel are single-threaded by design.
+// model: a World and its kernel are single-threaded by design. The
+// space-parallel execution mode below does not weaken this — workers
+// only evaluate pure physics, and every state mutation still happens on
+// the kernel goroutine in the sequential order.
 //
 // # Mobile worlds
 //
@@ -81,7 +84,39 @@
 // retunes invalidate only caches whose 5-channel spectral overlap
 // window touches the old or new channel. WithGlobalRadioInvalidation
 // restores the coarse wipe-the-world behaviour as a benchmark and
-// cross-check reference.//
+// cross-check reference.
+//
+// # Space-parallel worlds
+//
+// WithShards(n) (or World.SetShards, scenario.Config.Shards,
+// sweep.Design.Shards, the -shards CLI flags) switches the radio medium
+// into a conservative sharded execution mode. The arena is partitioned
+// into rectangular regions whose tiles are at least the worst-case
+// hearing range implied by the receive cutoff, so a transmission in one
+// region can reach receivers only in its own and adjacent regions —
+// the rx cutoff bounds cross-region influence, which is what makes
+// parallel evaluation safe without rollback. When a frame ends, a
+// worker pool evaluates per-receiver path loss, SNR, interference, and
+// capture region-by-region; the receipts are then committed on the
+// kernel goroutine in the exact sequential order (ascending radio ID,
+// then transmission Seq), with all RNG draws and trace records at
+// commit time. Digests are therefore bit-identical to the sequential
+// kernel for every scenario and seed — the sharded determinism suite
+// in pkg/aroma/scenarios enforces it scenario-wide and pins that a
+// scrambled commit order is detected.
+//
+// Worlds that cannot shard fall back to sequential execution with
+// identical results, never an error: no receive cutoff (unbounded
+// hearing range admits no safe tile), arenas smaller than two tiles,
+// shadow fading (per-receipt RNG is order-sensitive), or a mid-run
+// attach of a louder radio that collapses the region layout.
+// World.Shards reports the engaged worker count; World.Close releases
+// the worker pool (idempotent, and a finalizer backstops it).
+//
+// The mode pays off when per-transmission fan-out is large and real
+// cores exist; on a single core it measures coordination overhead,
+// which the gated BenchmarkWorldShardedDense pair keeps honest.
+//
 // # Sim-as-a-service
 //
 // pkg/aroma/checkpoint serializes whole worlds. A snapshot holds the
@@ -125,8 +160,9 @@
 //     by its ExportState, so checkpoints cannot silently export zero
 //     values. Escape hatch: //aroma:noexport <why>.
 //   - goroutineguard — no goroutine captures kernel/world/medium state
-//     outside the audited daemon command loop and sweep worker pool
-//     (single-threaded kernel). Escape hatch: //aroma:goroutine <why>.
+//     outside the audited spawn sites (daemon command loop, sweep
+//     worker pool, shard-runner pool); deterministic packages admit no
+//     other go statements. Escape hatch: //aroma:goroutine <why>.
 //   - eagerfmt — trace recording stays lazy: no fmt.Sprintf or runtime
 //     concatenation handed to Record/Issue/Info/Violation. Escape
 //     hatch: //aroma:eagerok <why>.

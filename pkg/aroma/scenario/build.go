@@ -52,6 +52,7 @@ func RegisterWorld(name, description string, build BuildFunc) {
 		if err != nil {
 			return nil, err
 		}
+		defer b.World.Close()
 		b.World.RunUntil(b.Horizon)
 		return b.Result(), nil
 	})
@@ -114,6 +115,11 @@ func Build(name string, cfg Config) (b *Built, err error) {
 		Scenario: name, Seed: cfg.Seed, Horizon: cfg.Horizon,
 		Verbose: cfg.Verbose, Params: params,
 	})
+	// Execution strategy, applied after the recipe is stamped: sharding
+	// never changes digests, so it is not part of the provenance.
+	if cfg.Shards > 1 {
+		b.World.SetShards(cfg.Shards)
+	}
 	return b, nil
 }
 

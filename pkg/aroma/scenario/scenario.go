@@ -47,6 +47,14 @@ type Config struct {
 	// constants when a name is absent. The map is shared read-only
 	// across the replications of a cell; scenarios must not mutate it.
 	Params map[string]string
+	// Shards, when > 1, runs world-registered scenarios in the
+	// conservative sharded execution mode (aroma.WithShards) with that
+	// many workers. Sharding is an execution strategy, not part of the
+	// workload: digests are bit-identical either way, so Shards is
+	// deliberately absent from the world's Provenance. Values < 2 — and
+	// worlds the mode cannot shard (no radio cutoff, arena too small) —
+	// run sequentially; never an error.
+	Shards int
 }
 
 // Param returns the raw value of a named parameter and whether it is set.

@@ -1,0 +1,80 @@
+package scenarios
+
+import (
+	"fmt"
+	"testing"
+
+	"aroma/pkg/aroma/scenario"
+)
+
+// shapeOf runs one registered scenario headlessly with the given shard
+// worker count and returns the reproducibility fingerprint the sharded
+// suite compares: trace digest, step count, virtual end time.
+func shapeOf(t *testing.T, name string, seed int64, shards int) string {
+	t.Helper()
+	res, err := scenario.Run(name, scenario.Config{Seed: seed, Shards: shards})
+	if err != nil {
+		t.Fatalf("scenario %s (shards=%d): %v", name, shards, err)
+	}
+	return fmt.Sprintf("digest=%s steps=%d simtime=%d", res.Digest, res.Steps, res.SimTime)
+}
+
+// TestShardedScenariosMatchSequential is the space-parallel determinism
+// regression suite: every registered scenario, at seeds 1, 7, and 42,
+// run under the sharded execution mode with 2 and 4 workers, must
+// produce a digest, step count, and end time bit-identical to the
+// sequential run. The sharded medium evaluates region-local physics in
+// parallel but commits every receipt on the kernel goroutine in
+// ascending radio-ID order — this suite is the contract that the
+// parallelism stays invisible.
+//
+// Scenarios whose worlds cannot shard (no radio cutoff, arenas smaller
+// than two region tiles, Func-only registrations) fall back to
+// sequential execution by design; for them the comparison is trivially
+// equal, which is exactly the documented behavior under test.
+func TestShardedScenariosMatchSequential(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	shardCounts := []int{2, 4}
+	for _, s := range scenario.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, seed := range seeds {
+				sequential := shapeOf(t, s.Name, seed, 0)
+				for _, n := range shardCounts {
+					if sharded := shapeOf(t, s.Name, seed, n); sharded != sequential {
+						t.Errorf("seed %d shards=%d diverges from sequential:\nseq:     %s\nsharded: %s",
+							seed, n, sequential, sharded)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSuiteCatchesMergeOrderBreakage pins the suite's teeth: a
+// deliberately broken receipt merge order (ScrambleShardCommit reverses
+// the ascending radio-ID commit) must produce a digest the sequential
+// run does not. If this test ever fails, the digest comparison above
+// has gone blind — a real merge-order regression would sail through.
+func TestShardedSuiteCatchesMergeOrderBreakage(t *testing.T) {
+	const seed = 7
+	run := func(scramble bool) string {
+		cfg := scenario.Config{Seed: seed}
+		b, err := buildMobileDense(cfg)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		defer b.World.Close()
+		if got := b.World.SetShards(4); got != 4 {
+			t.Fatalf("SetShards(4) = %d; the mobile-dense arena must shard for this canary to bite", got)
+		}
+		b.World.Medium().ScrambleShardCommit(scramble)
+		b.World.RunUntil(b.Horizon)
+		return b.Result().Digest
+	}
+	honest := run(false)
+	scrambled := run(true)
+	if honest == scrambled {
+		t.Fatalf("scrambled commit order produced the sequential digest %s — the determinism suite cannot detect merge-order regressions", honest)
+	}
+}

@@ -94,6 +94,15 @@ type Design struct {
 	Horizon sim.Time
 	Verbose bool
 
+	// Shards passes through to every run's scenario.Config: when > 1,
+	// each replication's world runs in the conservative sharded
+	// execution mode with that many workers. Digests — and therefore
+	// every cell statistic — are identical either way; sharding only
+	// changes where the CPU time of a single replication is spent, so
+	// combine it with WithWorkers(1) rather than oversubscribing cores
+	// on both levels.
+	Shards int
+
 	// Snapshot, when non-nil, is a pkg/aroma/checkpoint image and turns
 	// the campaign into snapshot-forked replications: instead of a cold
 	// build, every replication restores the snapshot and forks it with

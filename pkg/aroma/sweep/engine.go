@@ -160,6 +160,7 @@ func (s *Sweep) runOne(ti int) Row {
 		Verbose: s.design.Verbose,
 		Out:     &buf,
 		Params:  cell.Params,
+		Shards:  s.design.Shards,
 	}
 	t0 := time.Now()
 	res, err := s.call(cfg)
@@ -224,6 +225,10 @@ func (s *Sweep) runForked(cfg scenario.Config) (*scenario.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		b.World.SetShards(cfg.Shards)
+	}
+	defer b.World.Close()
 	horizon := b.Horizon
 	if cfg.Horizon != 0 {
 		horizon = cfg.Horizon

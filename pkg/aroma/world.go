@@ -141,6 +141,23 @@ func (w *World) Ticker(period sim.Time, label string, fn func()) (stop func()) {
 	return w.kernel.Ticker(period, label, fn)
 }
 
+// SetShards reconfigures the sharded execution mode after
+// construction (see WithShards), returning the effective worker
+// count: n when sharding engaged, 1 for the documented sequential
+// fallbacks. Digests are unaffected either way.
+func (w *World) SetShards(n int) int { return w.medium.SetShards(n) }
+
+// Shards returns the configured shard worker count (1 = sequential).
+func (w *World) Shards() int { return w.medium.Shards() }
+
+// Close releases the world's host resources — today, the sharded
+// execution mode's worker pool. The world remains usable afterwards
+// (it reverts to sequential execution, with identical digests), so
+// Close is safe to call eagerly when a run finishes. Idempotent. A
+// world dropped without Close is cleaned up by a finalizer; Close just
+// makes the release prompt and deterministic.
+func (w *World) Close() { w.medium.StopShards() }
+
 // Events returns the world's typed event bus.
 func (w *World) Events() *Bus { return w.bus }
 

@@ -2,11 +2,12 @@
 # bench.sh — record the repo's performance trajectory.
 #
 # Runs the hot-path benchmarks (kernel event queue, dense/mobile radio
-# medium) at a statistically useful count, plus every root figure/claim
-# benchmark once, and folds the output into a JSON record via
-# cmd/benchgate. The checked-in BENCH_PR5.json was produced by this
-# script; CI re-runs the gated subset and compares against it (see
-# .github/workflows/ci.yml "Benchmark regression gate").
+# medium, world-level sequential-vs-sharded execution) at a
+# statistically useful count, plus every root figure/claim benchmark
+# once, and folds the output into a JSON record via cmd/benchgate. The
+# checked-in BENCH_PR8.json was produced by this script; CI re-runs the
+# gated subset and compares against it (see .github/workflows/ci.yml
+# "Benchmark regression gate").
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -19,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR8.json}
 count=${COUNT:-3}
 benchtime=${BENCHTIME:-0.5s}
 tmp=$(mktemp)
@@ -37,10 +38,14 @@ echo "== checkpoint snapshot/restore, dense-500 (count=$count, benchtime=$bencht
 go test -run '^$' -bench 'BenchmarkCheckpoint' -benchmem \
     -count "$count" -benchtime "$benchtime" ./pkg/aroma/checkpoint/ | tee -a "$tmp"
 
+echo "== world fan-out, sequential vs sharded (count=$count, benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkWorldSharded' -benchmem \
+    -count "$count" -benchtime "$benchtime" ./pkg/aroma/ | tee -a "$tmp"
+
 if [[ "${SKIP_ROOT:-0}" != 1 ]]; then
     echo "== root figure/claim benchmarks (one shot each)"
     go test -run '^$' -bench '.' -benchmem -benchtime 1x . | tee -a "$tmp"
 fi
 
 go run ./cmd/benchgate -emit "$out" -in "$tmp" \
-    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*, BenchmarkCheckpoint*"
+    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*, BenchmarkCheckpoint*, BenchmarkWorldSharded*"
