@@ -10,13 +10,14 @@
 //
 // Usage:
 //
-//	aromasim [-scenario name] [-seed N] [-minutes M] [-verbose]
+//	aromasim [-scenario name] [-seed N] [-minutes M] [-verbose] [-metrics out.json]
 //	aromasim -list                 # list registered scenarios
 //	aromasim -all                  # batch-run every scenario, print a comparison table
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 	minutes := flag.Int("minutes", 0, "simulated minutes to run (0 = the scenario's default)")
 	verbose := flag.Bool("verbose", false, "print the full trace / extra detail")
 	shards := flag.Int("shards", 0, "shard workers for the space-parallel execution mode (<2 = sequential; digests are identical either way)")
+	metricsOut := flag.String("metrics", "", "enable telemetry and write the run's instrument snapshot (values + sim-time series) to this JSON file")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	all := flag.Bool("all", false, "run every registered scenario and print a comparison table")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -65,6 +67,7 @@ func main() {
 		Verbose: *verbose,
 		Out:     os.Stdout,
 		Shards:  *shards,
+		Metrics: *metricsOut != "",
 	}
 
 	if *all {
@@ -77,7 +80,10 @@ func main() {
 	// than dying with a truncated, unreadable profile.
 	done := make(chan error, 1)
 	go func() {
-		_, err := scenario.Run(*name, cfg)
+		res, err := scenario.Run(*name, cfg)
+		if err == nil && *metricsOut != "" {
+			err = writeMetrics(*metricsOut, res)
+		}
 		done <- err
 	}()
 	select {
@@ -91,6 +97,20 @@ func main() {
 		stopProfiles()
 		os.Exit(130)
 	}
+}
+
+// writeMetrics writes the run's telemetry snapshot as indented JSON.
+// Func-registered scenarios have no world to instrument; asking for
+// their metrics is an error rather than a silently empty file.
+func writeMetrics(path string, res *scenario.Result) error {
+	if res.Telemetry == nil {
+		return fmt.Errorf("aromasim: scenario %s produced no telemetry (only world-registered scenarios are instrumented)", res.Name)
+	}
+	data, err := json.MarshalIndent(res.Telemetry, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runAll batch-runs every registered scenario concurrently through the

@@ -54,7 +54,8 @@ func main() {
 	minutes := flag.Int("minutes", 0, "simulated minutes per run (0 = the scenario's default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
 	shards := flag.Int("shards", 0, "shard workers per run for the space-parallel execution mode (<2 = sequential; digests and cell statistics are identical either way — pair with -workers 1 to avoid oversubscription)")
-	out := flag.String("out", "", "directory for artifacts: runs.jsonl, cells.csv, report.txt")
+	out := flag.String("out", "", "directory for artifacts: runs.jsonl, cells.csv, report.txt (and metrics.jsonl with -metrics)")
+	telemetry := flag.Bool("metrics", false, "enable per-run telemetry; snapshots are written to metrics.jsonl next to runs.jsonl")
 	failFast := flag.Bool("failfast", false, "stop the sweep at the first failed run")
 	verbose := flag.Bool("verbose", false, "print every run's captured output as it completes")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
@@ -83,13 +84,14 @@ func main() {
 	}
 
 	design := sweep.Design{
-		Scenario: *name,
-		Axes:     axes,
-		Reps:     *reps,
-		BaseSeed: *seed,
-		Horizon:  sim.Time(*minutes) * sim.Minute,
-		Verbose:  *verbose,
-		Shards:   *shards,
+		Scenario:  *name,
+		Axes:      axes,
+		Reps:      *reps,
+		BaseSeed:  *seed,
+		Horizon:   sim.Time(*minutes) * sim.Minute,
+		Verbose:   *verbose,
+		Shards:    *shards,
+		Telemetry: *telemetry,
 	}
 	if *seeds != "" {
 		for _, part := range strings.Split(*seeds, ",") {
@@ -145,7 +147,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aromasweep:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("artifacts: %s/{runs.jsonl, cells.csv, report.txt}\n", strings.TrimRight(*out, "/"))
+		files := "runs.jsonl, cells.csv, report.txt"
+		if rep.HasTelemetry() {
+			files = "runs.jsonl, metrics.jsonl, cells.csv, report.txt"
+		}
+		fmt.Printf("artifacts: %s/{%s}\n", strings.TrimRight(*out, "/"), files)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "aromasweep:", runErr)

@@ -70,3 +70,21 @@ func annotated(k *Kernel) {
 	//aroma:goroutine serialized onto the command loop; audited by hand
 	go k.run()
 }
+
+// Server mirrors the daemon's metrics scraper: a fan-out of goroutines
+// that each touch a hosted world's sim state. The spawn site is
+// audited by name, like aroma/internal/daemon.(*Server).scrapeWorlds.
+type Server struct{ worlds []*Kernel }
+
+func (s *Server) scrapeWorlds() {
+	for _, k := range s.worlds {
+		go k.run()
+	}
+}
+
+// scrapeRogue is the same fan-out without an audit entry: flagged.
+func (s *Server) scrapeRogue() {
+	for _, k := range s.worlds {
+		go k.run() // want `goroutine captures sim state \(gopkg\.Kernel\)`
+	}
+}

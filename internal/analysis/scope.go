@@ -25,12 +25,16 @@ var (
 	// RealtimeAllowed are the layers that legitimately touch host time
 	// and host concurrency: the daemon serves HTTP, the sweep engine
 	// measures wall time and runs a worker pool, profiling samples the
-	// host, and CLIs/examples talk to terminals. Everything else in
-	// the module is sim code and must take time from the kernel and
-	// randomness from the seeded world RNG.
+	// host, the telemetry package's host plane accumulates wall-clock
+	// durations (its sim plane never reads a clock — samplers take
+	// their timestamps from the kernel), and CLIs/examples talk to
+	// terminals. Everything else in the module is sim code and must
+	// take time from the kernel and randomness from the seeded world
+	// RNG.
 	RealtimeAllowed = []string{
 		"aroma/internal/daemon",
 		"aroma/internal/profiling",
+		"aroma/internal/telemetry",
 		"aroma/pkg/aroma/sweep",
 		"aroma/pkg/aroma/client",
 		"aroma/cmd/...",
@@ -62,9 +66,11 @@ var (
 		"aroma/pkg/aroma/scenario.Built",
 	}
 
-	// GoroutineAllowedFuncs are the three audited goroutine owners: the
+	// GoroutineAllowedFuncs are the audited goroutine owners: the
 	// daemon host's command loop (the world's single thread under a
-	// concurrent HTTP surface), the sweep engine's worker pool (each
+	// concurrent HTTP surface), the daemon's /metrics scraper (renders
+	// each world's registry concurrently, touching every world only
+	// through its command loop), the sweep engine's worker pool (each
 	// worker owns run-isolated worlds that share nothing), and the
 	// radio medium's shard-runner pool (workers evaluate region-local
 	// physics between barriers; every receipt commits on the kernel
@@ -73,6 +79,7 @@ var (
 	// "<import path>.(*T).m".
 	GoroutineAllowedFuncs = []string{
 		"aroma/internal/daemon.newHost",
+		"aroma/internal/daemon.(*Server).scrapeWorlds",
 		"aroma/internal/radio.(*shardRunner).startWorkers",
 		"aroma/pkg/aroma/sweep.(*Sweep).Run",
 	}

@@ -52,3 +52,18 @@ func fence() int64 {
 	//aroma:realtime profiling fence, compared only against itself
 	return time.Now().UnixNano()
 }
+
+// counter mimics a telemetry sim-plane handle: instrument updates are
+// plain field writes with no clock access.
+type counter struct{ v uint64 }
+
+func (c *counter) inc() { c.v++ }
+
+// observeFrame is sim-plane instrumentation done right (a counter
+// bump) next to the mistake the telemetry allowlist must not license:
+// the host-plane telemetry package may read the wall clock, but model
+// code feeding sim-plane instruments still may not.
+func observeFrame(sent *counter) int64 {
+	sent.inc()
+	return time.Now().UnixNano() // want `host clock function time.Now`
+}

@@ -9,11 +9,16 @@ import (
 
 func TestWallclock(t *testing.T) {
 	a := wallclock.New(wallclock.Config{
-		Packages:  []string{"simpkg", "realpkg"},
-		Allowlist: []string{"realpkg"},
+		Packages:  []string{"simpkg", "realpkg", "telpkg"},
+		Allowlist: []string{"realpkg", "telpkg"},
 	})
-	diags := analysistest.Run(t, a, "simpkg", "realpkg")
+	diags := analysistest.Run(t, a, "simpkg", "realpkg", "telpkg")
 	if n := len(diags["realpkg"]); n != 0 {
 		t.Errorf("allowlisted package produced %d diagnostics, want 0", n)
+	}
+	// The telemetry-style host plane is allowlisted as a package; the
+	// sim-plane cases in simpkg (observeFrame) must stay flagged.
+	if n := len(diags["telpkg"]); n != 0 {
+		t.Errorf("host-plane telemetry package produced %d diagnostics, want 0", n)
 	}
 }

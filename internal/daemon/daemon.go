@@ -8,6 +8,7 @@
 // pkg/aroma/client):
 //
 //	GET    /healthz                        liveness
+//	GET    /metrics                        Prometheus text exposition (server + per-world)
 //	GET    /v1/scenarios                   registered scenarios
 //	POST   /v1/worlds                      create world from a scenario
 //	GET    /v1/worlds                      list hosted worlds
@@ -18,6 +19,7 @@
 //	GET    /v1/worlds/{id}/state           full canonical state export
 //	GET    /v1/worlds/{id}/output          captured scenario narration
 //	GET    /v1/worlds/{id}/events          live trace stream (SSE, ?min=severity)
+//	GET    /v1/worlds/{id}/metrics         instrument snapshot + sim-time series (JSON)
 //	POST   /v1/worlds/{id}/snapshot        checkpoint into the snapshot store
 //	GET    /v1/snapshots                   list stored snapshots
 //	GET    /v1/snapshots/{name}            download raw snapshot bytes
@@ -40,8 +42,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 	"aroma/internal/trace"
 	"aroma/pkg/aroma/checkpoint"
 	"aroma/pkg/aroma/client"
@@ -61,6 +65,12 @@ type Server struct {
 	// execution mode with that many workers unless the create request
 	// sets its own count. Digests are identical either way.
 	defaultShards int
+
+	// reg holds the server's own host-plane instruments (SSE drops,
+	// hosted-world gauge); per-world instruments live in each world's
+	// registry and are merged into /metrics with a world label.
+	reg        *telemetry.Registry
+	sseDropped *telemetry.HostCounter
 
 	mux *http.ServeMux
 }
@@ -90,7 +100,11 @@ func New(opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.reg = telemetry.New()
+	s.sseDropped = s.reg.HostCounter("host.sse_dropped_total")
+	s.reg.GaugeFunc("host.worlds", func() float64 { return float64(s.WorldCount()) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v1/worlds", s.handleCreateWorld)
 	s.mux.HandleFunc("GET /v1/worlds", s.handleListWorlds)
@@ -101,6 +115,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/worlds/{id}/state", s.handleState)
 	s.mux.HandleFunc("GET /v1/worlds/{id}/output", s.handleOutput)
 	s.mux.HandleFunc("GET /v1/worlds/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/worlds/{id}/metrics", s.handleWorldMetrics)
 	s.mux.HandleFunc("POST /v1/worlds/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/snapshots", s.handleListSnapshots)
 	s.mux.HandleFunc("GET /v1/snapshots/{name}", s.handleSnapshotData)
@@ -150,6 +165,10 @@ func (s *Server) addWorld(id, scen string, b *scenario.Built, out *bytes.Buffer)
 	if _, dup := s.worlds[id]; dup {
 		return nil, fmt.Errorf("world %q already exists", id)
 	}
+	// Every hosted world carries telemetry so /metrics always has data
+	// to scrape; enabling is idempotent and digest-neutral. The world is
+	// not hosted yet, so touching it here cannot race its command loop.
+	b.World.EnableTelemetry(0)
 	h := newHost(id, scen, b, out)
 	s.worlds[id] = h
 	return h, nil
@@ -174,17 +193,19 @@ func (s *Server) info(h *host) (client.WorldInfo, error) {
 		world := h.built.World
 		ks := world.Kernel().ExportState()
 		prov, _ := world.Provenance()
+		shards, fallback := world.Shards()
 		wi = client.WorldInfo{
-			ID:       h.id,
-			Scenario: h.scen,
-			Seed:     world.Seed(),
-			Now:      world.Now(),
-			Horizon:  h.built.Horizon,
-			Steps:    ks.Steps,
-			Pending:  len(ks.Pending),
-			Forks:    len(prov.Forks),
-			Shards:   world.Shards(),
-			Digest:   world.Digest(),
+			ID:            h.id,
+			Scenario:      h.scen,
+			Seed:          world.Seed(),
+			Now:           world.Now(),
+			Horizon:       h.built.Horizon,
+			Steps:         ks.Steps,
+			Pending:       len(ks.Pending),
+			Forks:         len(prov.Forks),
+			Shards:        shards,
+			ShardFallback: fallback,
+			Digest:        world.Digest(),
 		}
 	})
 	return wi, err
@@ -192,6 +213,83 @@ func (s *Server) info(h *host) (client.WorldInfo, error) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// scrapeWait bounds how long a /metrics scrape waits for any one
+// world's command loop to accept the render. A world deep in a long
+// run is skipped (noted as an exposition comment) rather than stalling
+// the whole scrape.
+const scrapeWait = 250 * time.Millisecond
+
+// handleMetrics serves the Prometheus text exposition: the server's
+// own host-plane instruments first, then every hosted world's registry
+// with a world="<id>" label, in world-ID order.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	hosts := make([]*host, 0, len(s.worlds))
+	for _, h := range s.worlds {
+		hosts = append(hosts, h)
+	}
+	s.mu.Unlock()
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].id < hosts[j].id })
+	bufs := s.scrapeWorlds(hosts)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	for i, h := range hosts {
+		if bufs[i] == nil {
+			fmt.Fprintf(w, "# world %s skipped: busy\n", h.id)
+			continue
+		}
+		w.Write(bufs[i].Bytes())
+	}
+}
+
+// scrapeWorlds renders each world's registry into a private buffer,
+// concurrently across worlds. A nil buffer marks a world whose command
+// loop was busy past the scrape budget (or already closed).
+func (s *Server) scrapeWorlds(hosts []*host) []*bytes.Buffer {
+	bufs := make([]*bytes.Buffer, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		//aroma:goroutine the scrape touches each world only via tryDo, which serializes onto its command loop
+		go func(i int, h *host) {
+			defer wg.Done()
+			buf := &bytes.Buffer{}
+			if err := h.tryDo(func() {
+				if reg := h.built.World.Telemetry(); reg != nil {
+					reg.WritePrometheus(buf, telemetry.L("world", h.id))
+				}
+			}, scrapeWait); err == nil {
+				bufs[i] = buf
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	return bufs
+}
+
+// handleWorldMetrics serves one world's instrument snapshot — final
+// values plus the sampled sim-time series — as JSON.
+func (s *Server) handleWorldMetrics(w http.ResponseWriter, r *http.Request) {
+	h := s.world(w, r)
+	if h == nil {
+		return
+	}
+	var snap *telemetry.Snapshot
+	if err := h.do(func() {
+		if reg := h.built.World.Telemetry(); reg != nil {
+			snap = reg.Snapshot(int64(h.built.World.Now()))
+		}
+	}); err != nil {
+		writeErr(w, http.StatusGone, "%v", err)
+		return
+	}
+	if snap == nil {
+		writeErr(w, http.StatusNotFound, "world %q has no telemetry", h.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -535,6 +633,11 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 	s.finishCreate(w, req.ID, sn.info.Scenario, b, nil)
 }
 
+// sseChanCap is the per-stream event buffer between a world's loop
+// goroutine and its SSE writer. A var, not a const, so the drop-path
+// test can shrink it to a size a test workload can overflow.
+var sseChanCap = 4096
+
 // handleEvents streams the world's trace over SSE. The subscriber
 // callback runs on the world's loop goroutine and fully formats each
 // event there (the trace's lazy messages are not goroutine-safe), then
@@ -557,7 +660,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ch := make(chan client.Event, 4096)
+	ch := make(chan client.Event, sseChanCap)
 	var dropped atomic.Uint64
 	var cancel func()
 	if err := h.do(func() {
@@ -573,6 +676,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			case ch <- ce:
 			default:
 				dropped.Add(1)
+				s.sseDropped.Inc()
 			}
 		})
 	}); err != nil {

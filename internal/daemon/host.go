@@ -4,12 +4,17 @@ import (
 	"bytes"
 	"errors"
 	"sync"
+	"time"
 
 	"aroma/pkg/aroma/scenario"
 )
 
 // errWorldClosed is returned by host.do after the world is deleted.
 var errWorldClosed = errors.New("world deleted")
+
+// errWorldBusy is returned by host.tryDo when the command loop did not
+// accept the command within the wait budget.
+var errWorldBusy = errors.New("world busy")
 
 // host owns one hosted world. An Aroma world, like the kernel beneath
 // it, is single-threaded; the host preserves that invariant under a
@@ -82,6 +87,26 @@ func (h *host) do(fn func()) error {
 		<-done
 		return nil
 	}
+}
+
+// tryDo runs fn on the world's loop like do, but gives up when the
+// loop does not accept the command within wait — a metrics scrape must
+// skip a world deep in a long run rather than stall behind it. Once
+// the loop accepts the command, fn runs to completion before tryDo
+// returns.
+func (h *host) tryDo(fn func(), wait time.Duration) error {
+	done := make(chan struct{})
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case h.cmds <- func() { defer close(done); fn() }:
+	case <-h.quit:
+		return errWorldClosed
+	case <-timer.C:
+		return errWorldBusy
+	}
+	<-done
+	return nil
 }
 
 // close shuts the loop down. Idempotent. A command in flight finishes;

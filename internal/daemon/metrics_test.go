@@ -1,0 +1,88 @@
+package daemon_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"aroma/internal/sim"
+	"aroma/pkg/aroma/client"
+	_ "aroma/pkg/aroma/scenarios"
+)
+
+// The /metrics exposition carries the server's host-plane instruments
+// plus every hosted world's registry under a world label, with the
+// known kernel, radio, and shard-fallback instrument names — the same
+// names the CI smoke test greps for.
+func TestMetricsExposition(t *testing.T) {
+	c := newDaemon(t)
+	ctx := context.Background()
+
+	// A shard request without a radio cutoff must surface its fallback
+	// reason in the world info, not silently run sequential.
+	wi, err := c.CreateWorld(ctx, client.CreateWorldRequest{ID: "m1", Scenario: "lab", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wi.Shards != 1 {
+		t.Errorf("lab with shards=4: Shards = %d, want 1 (no cutoff)", wi.Shards)
+	}
+	if wi.ShardFallback == "" {
+		t.Error("lab with shards=4: ShardFallback empty, want a reason")
+	}
+
+	if _, err := c.RunFor(ctx, "m1", 10*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE aroma_kernel_steps_total counter",
+		`aroma_kernel_steps_total{world="m1"}`,
+		`aroma_kernel_events_scheduled_total{world="m1"}`,
+		`aroma_radio_frames_sent_total{world="m1"}`,
+		`aroma_radio_shard_fallback_total{reason="small_fanout",world="m1"}`,
+		`aroma_mac_frames_sent_total{world="m1"}`,
+		`aroma_trace_events_total{severity="debug",world="m1"}`,
+		"aroma_host_sse_dropped_total",
+		"aroma_host_worlds 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The JSON endpoint returns the same registry as a snapshot with
+	// sim-time series: 10 virtual seconds at the 100ms default period
+	// is 100 samples (decimation keeps them all).
+	snap, err := c.WorldMetrics(ctx, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.At != int64(10*sim.Second) {
+		t.Errorf("snapshot At = %d, want %d", snap.At, int64(10*sim.Second))
+	}
+	var found bool
+	for _, in := range snap.Instruments {
+		if in.Name == "kernel.steps_total" {
+			found = true
+			if in.Value <= 0 {
+				t.Errorf("kernel.steps_total = %v, want > 0", in.Value)
+			}
+			if len(in.Series) == 0 {
+				t.Error("kernel.steps_total has no sim-time series")
+			} else if last := in.Series[len(in.Series)-1]; last.T != int64(10*sim.Second) {
+				t.Errorf("last sample at %d, want %d", last.T, int64(10*sim.Second))
+			}
+		}
+	}
+	if !found {
+		t.Error("snapshot has no kernel.steps_total instrument")
+	}
+
+	if _, err := c.WorldMetrics(ctx, "missing"); err == nil {
+		t.Error("metrics of missing world succeeded")
+	}
+}

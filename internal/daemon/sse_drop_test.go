@@ -1,0 +1,125 @@
+package daemon
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aroma/internal/trace"
+	"aroma/pkg/aroma/scenario"
+	_ "aroma/pkg/aroma/scenarios"
+)
+
+// stuckWriter is an SSE consumer that refuses to make progress: every
+// Write blocks until the gate opens, after which writes land in an
+// in-memory buffer. The first Write attempt is signalled so the test
+// knows the handler is past its subscription and provably wedged.
+type stuckWriter struct {
+	gate   chan struct{}
+	first  chan struct{}
+	once   sync.Once
+	mu     sync.Mutex
+	buf    strings.Builder
+	header http.Header
+}
+
+func (w *stuckWriter) Header() http.Header { return w.header }
+func (w *stuckWriter) WriteHeader(int)     {}
+func (w *stuckWriter) Flush()              {}
+
+func (w *stuckWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.first) })
+	<-w.gate
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *stuckWriter) output() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestSSESlowConsumerDropsNotStalls pins the slow-consumer contract: a
+// stream whose client never reads must cost the simulation nothing.
+// Events beyond the stream buffer are dropped and counted — on the
+// server's host-plane drop counter and in the stream's closing
+// comment — while the world's loop keeps accepting commands.
+//
+// White-box on purpose: the drop path needs a full channel behind a
+// wedged writer, so the test shrinks sseChanCap and blocks the writer
+// deterministically instead of racing a real socket's buffers.
+func TestSSESlowConsumerDropsNotStalls(t *testing.T) {
+	defer func(old int) { sseChanCap = old }(sseChanCap)
+	sseChanCap = 8
+
+	s := New()
+	defer s.Close()
+	b, err := scenario.Build("lab", scenario.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.addWorld("slow", "lab", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := &stuckWriter{gate: make(chan struct{}), first: make(chan struct{}), header: make(http.Header)}
+	req := httptest.NewRequest(http.MethodGet, "/v1/worlds/slow/events?min=debug", nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(w, req)
+	}()
+
+	// The stream-open comment is the handler's first write; once it is
+	// attempted, the subscription is installed and the consumer is
+	// stuck before ever draining the channel.
+	select {
+	case <-w.first:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE handler never attempted its first write")
+	}
+
+	// Publish far more events than the shrunken buffer holds, on the
+	// world's loop goroutine like any model code would. do returning at
+	// all is the no-stall guarantee: a subscriber that blocked on the
+	// wedged stream would hang the loop, and this test with it.
+	const events = 100
+	if err := h.do(func() {
+		log := h.built.World.Log()
+		for i := 0; i < events; i++ {
+			log.Info(trace.Intentional, "tester", "event %d", i)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loop is still live after the overflow.
+	if err := h.do(func() { _ = h.built.World.Now() }); err != nil {
+		t.Fatalf("world loop wedged after SSE overflow: %v", err)
+	}
+
+	wantDrops := uint64(events - sseChanCap)
+	if got := s.sseDropped.Load(); got != wantDrops {
+		t.Errorf("host.sse_dropped_total = %d, want %d", got, wantDrops)
+	}
+
+	// Unblock the consumer and close the world: the stream must end
+	// with the per-stream drop count in its closing comment.
+	close(w.gate)
+	s.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE handler did not exit after world close")
+	}
+	if out, want := w.output(), fmt.Sprintf("dropped=%d", wantDrops); !strings.Contains(out, want) {
+		t.Errorf("closing comment missing %q:\n%s", want, out)
+	}
+}

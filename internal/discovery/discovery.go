@@ -204,6 +204,10 @@ func (l *Lookup) Count() int { return len(l.items) }
 // Subscribers returns the number of live event subscriptions.
 func (l *Lookup) Subscribers() int { return len(l.subs) }
 
+// Leases returns the lookup's lease table, for observability (grant,
+// renewal, and expiry counters live on the table).
+func (l *Lookup) Leases() *lease.Table { return l.leases }
+
 // Start begins periodic multicast announcements.
 func (l *Lookup) Start() {
 	if l.stopAnnounce != nil {

@@ -90,6 +90,18 @@ type MAC struct {
 	nextAddr Addr
 	seq      uint64
 	ackFree  []*pendingAck // recycled SIFS-ack records
+
+	// MAC-wide aggregate stats, maintained alongside the per-station
+	// counters so telemetry reads one field instead of iterating the
+	// stations map. Observability-only: absent from ExportState and
+	// every digest input.
+	Backoffs    uint64 // backoff countdowns started (one per DIFS win)
+	Retries     uint64 // retransmissions after ACK timeout
+	AckTimeouts uint64 // ACK timers that expired
+	Drops       uint64 // unicast frames dropped at the retry limit
+	SentData    uint64 // data frames put on the air
+	SentAcks    uint64 // ACK frames put on the air
+	DeliveredUp uint64 // data frames delivered to OnReceive handlers
 }
 
 // New creates a MAC over the given medium.
@@ -163,6 +175,7 @@ func jobDIFSDone(a any) {
 		return
 	}
 	j.slots = s.mac.kernel.Rand().Intn(j.cw + 1)
+	s.mac.Backoffs++
 	s.backoff(j)
 }
 
@@ -292,6 +305,7 @@ func (s *Station) transmit(job *txJob) {
 		return
 	}
 	s.SentData++
+	s.mac.SentData++
 	air := tx.Airtime()
 	if job.frame.Dst == Broadcast {
 		// Unacknowledged: done when the frame leaves the air.
@@ -307,9 +321,12 @@ func (s *Station) transmit(job *txJob) {
 func (s *Station) onAckTimeout(job *txJob) {
 	job.retries++
 	s.RetriesTotal++
+	s.mac.AckTimeouts++
+	s.mac.Retries++
 	limit := s.mac.cfg.MaxRetries
 	if job.retries > limit {
 		s.Drops++
+		s.mac.Drops++
 		s.finishJob(job, SendResult{Frame: job.frame, OK: false, Retries: job.retries, Err: ErrTooManyRetries})
 		return
 	}
@@ -372,6 +389,7 @@ func (s *Station) onRadioReceive(rc radio.Receipt) {
 
 func (s *Station) deliverUp(frame Frame) {
 	s.DeliveredUp++
+	s.mac.DeliveredUp++
 	if s.OnReceive != nil {
 		s.OnReceive(frame)
 	}
@@ -391,6 +409,7 @@ func firePendingAck(a any) {
 	s := pa.s
 	if _, err := s.mac.medium.Transmit(s.radio, AckBits, radio.Rates[0], pa.frame); err == nil {
 		s.SentAcks++
+		s.mac.SentAcks++
 	}
 	pa.s = nil
 	s.mac.ackFree = append(s.mac.ackFree, pa)

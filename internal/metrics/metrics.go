@@ -253,9 +253,12 @@ func (c *Counter) Inc() { c.n++ }
 func (c *Counter) Value() uint64 { return c.n }
 
 // RatePer returns the count divided by elapsed (e.g. events per second
-// when elapsed is in seconds). It returns 0 when elapsed <= 0.
+// when elapsed is in seconds). It returns 0 unless elapsed is strictly
+// positive — zero, negative, and NaN elapsed all yield 0, never Inf or
+// NaN (the negated comparison is deliberate: NaN fails every ordered
+// comparison, so `elapsed <= 0` alone would let NaN through).
 func (c *Counter) RatePer(elapsed float64) float64 {
-	if elapsed <= 0 {
+	if !(elapsed > 0) {
 		return 0
 	}
 	return float64(c.n) / elapsed

@@ -377,3 +377,26 @@ func TestCI95Edges(t *testing.T) {
 		t.Error("spread observations must widen CI95 above 0")
 	}
 }
+
+func TestRatePerDegenerateElapsed(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	for _, elapsed := range []float64{0, -1, -1e-300, math.NaN(), math.Inf(-1)} {
+		if r := c.RatePer(elapsed); r != 0 {
+			t.Errorf("RatePer(%v) = %v, want 0", elapsed, r)
+		}
+	}
+	// Valid elapsed still divides, and the result is always finite and
+	// non-NaN — the contract downstream renderers (Prometheus text,
+	// JSON) rely on.
+	if r := c.RatePer(4); r != 25 {
+		t.Errorf("RatePer(4) = %v, want 25", r)
+	}
+	if r := c.RatePer(math.Inf(1)); r != 0 {
+		t.Errorf("RatePer(+Inf) = %v, want 0", r)
+	}
+	var zero Counter
+	if r := zero.RatePer(2); r != 0 {
+		t.Errorf("zero counter RatePer(2) = %v, want 0", r)
+	}
+}

@@ -78,6 +78,7 @@ import (
 	"aroma/internal/env"
 	"aroma/internal/geo"
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 )
 
 // Channel numbering follows 802.11b North America: 1..11, 5 MHz apart,
@@ -500,10 +501,53 @@ type Medium struct {
 	shard         *shardState
 	pendingShards int
 
-	// Stats
+	// shardFallbackReason records why the last SetShards call fell back
+	// to sequential execution ("" when sharding engaged or was never
+	// requested); the runtime Fallback* counters below count per-event
+	// fallbacks of an engaged sharded medium.
+	shardFallbackReason string
+
+	// parallelPhase is true while shard workers are evaluating. The
+	// observability-only gain-cache counters below are skipped during a
+	// parallel phase (incrementing them from workers would race);
+	// cache *behavior* is identical either way.
+	parallelPhase bool
+
+	// evalTimer/commitTimer are optional host-plane wall-clock
+	// accumulators for the sharded evaluate dispatches and sequential
+	// commit loops (BindHostTimers). Host-plane: never exported,
+	// digested, or sampled into sim series.
+	evalTimer   *telemetry.HostTimer
+	commitTimer *telemetry.HostTimer
+
+	// Stats. Sent/Delivered/Lost are part of ExportState (canonical
+	// frame accounting); everything below them is observability-only —
+	// read by telemetry func instruments, absent from ExportState and
+	// every digest input.
 	Sent      uint64
 	Delivered uint64
 	Lost      uint64
+
+	// Collisions counts lost frames that had nonzero co-channel
+	// interference on the receiver (a genuine collision rather than
+	// range loss); CaptureWins counts decoded frames that overcame
+	// nonzero interference (the capture effect).
+	Collisions  uint64
+	CaptureWins uint64
+
+	// GainHits/GainMisses count pairwise link-gain cache lookups on the
+	// sequential paths. Lookups made by shard workers during a parallel
+	// phase are not counted (see parallelPhase), so the hit rate
+	// describes the sequential/coordinator share of traffic.
+	GainHits   uint64
+	GainMisses uint64
+
+	// Per-event sharded-execution fallbacks: an engaged sharded medium
+	// that ran a particular fan-out sequentially, by reason.
+	FallbackSmallFanout uint64 // fan-out below shardMinFanout
+	FallbackShadow      uint64 // shadow fading forces sequential gains
+	FallbackLayout      uint64 // layout rebuild collapsed to < 2 regions
+	FallbackMidCommit   uint64 // commit callback perturbed the world mid-fan-out
 }
 
 // NewMedium creates an empty medium over the given environment.
@@ -822,7 +866,13 @@ func (m *Medium) linkGain(src, rx *Radio) (mw, rssi float64) {
 	}
 	g := &src.gainTo[rx.ID]
 	if g.srcGen == src.linkGen && g.rxGen == rx.linkGen && g.srcPower == src.TxPowerDBm {
+		if !m.parallelPhase {
+			m.GainHits++
+		}
 		return g.mw, g.rssi
+	}
+	if !m.parallelPhase {
+		m.GainMisses++
 	}
 	rssi = m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, rx.Pos)
 	mw = env.DBmToMilliwatts(rssi)
@@ -988,6 +1038,9 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 	if len(m.active) > 0 && len(hearers) >= shardMinFanout && m.shardReady() {
 		m.transmitSharded(tx, hearers)
 	} else {
+		if m.shard != nil && len(m.active) > 0 {
+			m.noteShardFallback(len(hearers))
+		}
 		for _, other := range m.active {
 			m.recordInterference(tx, other, m.candidatesFor(other.Src))
 			m.recordInterference(other, tx, hearers)
@@ -1067,6 +1120,9 @@ func (m *Medium) finish(tx *Transmission) {
 	if len(receivers) >= shardMinFanout && m.shardReady() {
 		m.finishSharded(tx, receivers, noiseMW)
 	} else {
+		if m.shard != nil {
+			m.noteShardFallback(len(receivers))
+		}
 		for _, rx := range receivers {
 			if rx.OnReceive == nil || !m.attached(rx) {
 				continue
@@ -1080,11 +1136,7 @@ func (m *Medium) finish(tx *Transmission) {
 			intMW := tx.led.at(rx.ID)
 			sinr := 10 * math.Log10(sigMW/(noiseMW+intMW))
 			ok := sinr >= tx.Rate.MinSINRdB
-			if ok {
-				m.Delivered++
-			} else {
-				m.Lost++
-			}
+			m.countOutcome(ok, intMW > 0)
 			rx.OnReceive(Receipt{Tx: tx, RSSIdBm: rssi, SINRdB: sinr, OK: ok})
 		}
 	}
@@ -1092,6 +1144,52 @@ func (m *Medium) finish(tx *Transmission) {
 	// active transmissions, and delivery above has consumed every cell.
 	m.releaseLedger(tx.led)
 	tx.led = nil
+}
+
+// countOutcome updates the delivery stats for one receipt: the
+// canonical Delivered/Lost pair plus the observability-only
+// collision/capture classification (interfered reports whether the
+// receiver saw nonzero co-channel interference for the frame).
+func (m *Medium) countOutcome(ok, interfered bool) {
+	if ok {
+		m.Delivered++
+		if interfered {
+			m.CaptureWins++
+		}
+	} else {
+		m.Lost++
+		if interfered {
+			m.Collisions++
+		}
+	}
+}
+
+// noteShardFallback classifies why an engaged sharded medium ran one
+// fan-out sequentially. Callers have already decided to fall back; the
+// reason mirrors the short-circuit order of the engage condition.
+func (m *Medium) noteShardFallback(fanout int) {
+	switch {
+	case fanout < shardMinFanout:
+		m.FallbackSmallFanout++
+	case m.env.ShadowSigmaDB != 0:
+		m.FallbackShadow++
+	default:
+		m.FallbackLayout++
+	}
+}
+
+// ShardFallback returns why the last SetShards call fell back to
+// sequential execution, or "" when sharding engaged (or was never
+// requested).
+func (m *Medium) ShardFallback() string { return m.shardFallbackReason }
+
+// BindHostTimers attaches host-plane wall-clock accumulators for the
+// sharded execution mode: eval observes each parallel evaluate
+// dispatch, commit each sequential receipt-commit loop. Either may be
+// nil. Host-plane contract: the timers never feed ExportState, any
+// digest, or sim-time series.
+func (m *Medium) BindHostTimers(eval, commit *telemetry.HostTimer) {
+	m.evalTimer, m.commitTimer = eval, commit
 }
 
 // ActiveTransmissions returns the number of frames currently in the air.

@@ -62,6 +62,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"aroma/internal/geo"
 )
@@ -315,15 +316,22 @@ func (ph *phase) evalInterfere(w, workers int) {
 // decision; a sharded run never degrades into an error mid-run.
 func (m *Medium) SetShards(n int) int {
 	m.StopShards()
-	if n < 2 || !m.cutoffEnabled() {
+	if n < 2 {
+		m.shardFallbackReason = "shards < 2"
+		return 1
+	}
+	if !m.cutoffEnabled() {
+		m.shardFallbackReason = "no receive cutoff"
 		return 1
 	}
 	m.shard = &shardState{want: n}
 	m.rebuildShardLayout()
 	if m.shard.rm.Regions() < 2 {
 		m.shard = nil
+		m.shardFallbackReason = "arena smaller than two regions"
 		return 1
 	}
+	m.shardFallbackReason = ""
 	m.shard.runner = newShardRunner(n)
 	// Backstop for worlds dropped without StopShards (the sweep engine
 	// builds thousands): when the medium becomes unreachable the
@@ -571,14 +579,18 @@ func (m *Medium) finishSharded(tx *Transmission, receivers []*Radio, noiseMW flo
 
 	sr := sh.runner
 	sr.ph = phase{kind: phaseDeliver, m: m, tx: tx, receivers: receivers, outcomes: out, noiseMW: noiseMW}
-	sr.dispatch()
-	sr.ph = phase{}
+	m.runPhase(sr)
 
+	var commitStart time.Time
+	if m.commitTimer != nil {
+		commitStart = time.Now() //aroma:realtime host-plane commit-duration stat, never enters sim state
+	}
 	stale := false
 	commit := func(i int) {
 		rx := receivers[i]
 		if !stale && (m.physGen != gen || tx.Src.TxPowerDBm != power) {
 			stale = true
+			m.FallbackMidCommit++
 		}
 		if rx.OnReceive == nil || !m.attached(rx) {
 			return
@@ -602,11 +614,7 @@ func (m *Medium) finishSharded(tx *Transmission, receivers []*Radio, noiseMW flo
 			}
 			rssi, sinr, ok = o.rssi, o.sinr, o.ok
 		}
-		if ok {
-			m.Delivered++
-		} else {
-			m.Lost++
-		}
+		m.countOutcome(ok, tx.led.at(rx.ID) > 0)
 		rx.OnReceive(Receipt{Tx: tx, RSSIdBm: rssi, SINRdB: sinr, OK: ok})
 	}
 	if sh.scramble {
@@ -618,6 +626,29 @@ func (m *Medium) finishSharded(tx *Transmission, receivers []*Radio, noiseMW flo
 			commit(i)
 		}
 	}
+	if m.commitTimer != nil {
+		m.commitTimer.Observe(time.Since(commitStart)) //aroma:realtime host-plane commit-duration stat, never enters sim state
+	}
+}
+
+// runPhase dispatches the prepared phase through the worker pool with
+// the parallel-phase flag raised (suppressing the racy-to-count
+// sequential cache stats) and, when bound, the host-plane evaluate
+// timer observing the dispatch wall time. The channel send and
+// WaitGroup wait inside dispatch give the flag writes their
+// happens-before edges.
+func (m *Medium) runPhase(sr *shardRunner) {
+	var start time.Time
+	if m.evalTimer != nil {
+		start = time.Now() //aroma:realtime host-plane eval-duration stat, never enters sim state
+	}
+	m.parallelPhase = true
+	sr.dispatch()
+	m.parallelPhase = false
+	if m.evalTimer != nil {
+		m.evalTimer.Observe(time.Since(start)) //aroma:realtime host-plane eval-duration stat, never enters sim state
+	}
+	sr.ph = phase{}
 }
 
 // transmitSharded is the parallel interference fan-out for a new
@@ -641,8 +672,7 @@ func (m *Medium) transmitSharded(tx *Transmission, hearers []*Radio) {
 
 	sr := sh.runner
 	sr.ph = phase{kind: phaseInterfere, m: m, tx: tx, hearers: hearers, active: m.active, cands: sh.cands}
-	sr.dispatch()
-	sr.ph = phase{}
+	m.runPhase(sr)
 	// Drop the candidate snapshots so the scratch does not pin caches
 	// that a rebuild has already replaced.
 	for i := range sh.cands {

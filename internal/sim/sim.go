@@ -164,7 +164,14 @@ type Kernel struct {
 	seed    int64
 	stopped bool
 	steps   uint64
+	cancels uint64
 	maxTime Time // zero means no horizon
+
+	// Periodic observers outside the event queue (see sampler.go).
+	// sampleNext caches the earliest pending sampler deadline (0 =
+	// none) so the per-event cost is one comparison.
+	samplers   []*sampler
+	sampleNext Time
 }
 
 // New creates a kernel whose random generator is seeded with seed.
@@ -317,6 +324,7 @@ func (k *Kernel) Cancel(e Event) bool {
 	r.state = recCancelled
 	r.fn, r.fnArg, r.arg = nil, nil, nil
 	k.live--
+	k.cancels++
 	return true
 }
 
@@ -368,8 +376,14 @@ func (k *Kernel) NextAt() (Time, bool) {
 }
 
 // fire pops and executes the event at ln's heap head, advancing the
-// clock to its timestamp.
+// clock to its timestamp. Samplers due strictly before the event's
+// timestamp observe first, so the clock never jumps over a sample
+// instant; a sampler due exactly at the timestamp waits until every
+// event at that instant has run (samples reflect the full <= t prefix).
 func (k *Kernel) fire(ln *eventLane, slot int32) {
+	if k.sampleNext != 0 && k.sampleNext < ln.pool[slot].at {
+		k.advanceSamplers(ln.pool[slot].at - 1)
+	}
 	r := &ln.pool[slot]
 	heapPopRoot(ln)
 	k.now = r.at
@@ -449,6 +463,12 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 			break
 		}
 		k.fire(ln, ln.heap[0])
+	}
+	// Samplers due in (last event, deadline] observe before the final
+	// clock bump so a window's samples exist even when the queue
+	// drained early.
+	if k.sampleNext != 0 && k.sampleNext <= deadline {
+		k.advanceSamplers(deadline)
 	}
 	if k.now < deadline {
 		k.now = deadline

@@ -1,0 +1,449 @@
+// Package telemetry is the per-world instrument registry behind
+// World.Telemetry, the aromad /metrics surface, and the sweep metrics
+// artifacts.
+//
+// # Two planes
+//
+// Instruments live on exactly one of two planes, and the plane decides
+// every contract that matters:
+//
+//   - Sim-plane instruments (Counter, Gauge, Histogram, CounterFunc,
+//     GaugeFunc) describe the simulated system — frames sent, backoffs,
+//     pool occupancy. They are updated and read on the kernel goroutine
+//     only, advance only with virtual time, and are sampled into
+//     deterministic sim-time series by a kernel-driven sampler. Two runs
+//     of the same seed produce bit-identical sim-plane values and
+//     series.
+//   - Host-plane instruments (HostCounter, HostTimer) describe the
+//     machine running the simulation — wall-clock evaluate/commit
+//     durations, SSE drops. They are atomics, safe from any goroutine,
+//     and are never sampled into sim-time series.
+//
+// Neither plane is part of ExportState, Digest, or checkpoint
+// Provenance: enabling telemetry cannot perturb a digest, and restoring
+// a snapshot recomputes sim-plane values by replay rather than
+// deserializing them.
+//
+// # Hot-path discipline
+//
+// Counter/Gauge/Histogram handles are dense-slot references into the
+// registry's backing arrays: an update is one bounds-checked array
+// write, no map lookups and no allocations (BenchmarkTelemetryHotPath
+// gates 0 allocs/op). The zero-value handle is inert, so model code
+// updates unconditionally and worlds without telemetry pay only a nil
+// check. Stats that substrates already keep as plain fields are read
+// lazily through CounterFunc/GaugeFunc at sample/export time instead of
+// being double-counted on the hot path.
+//
+// # Naming scheme
+//
+// Names are dotted, lowercase, with the Prometheus unit conventions
+// applied to the leaf: monotonically increasing counts end in "_total"
+// (enforced at registration), gauges are bare nouns. The Prometheus
+// exporter maps "kernel.steps_total" to "aroma_kernel_steps_total";
+// labels distinguish instruments sharing a name (per-lane depth,
+// per-reason fallbacks).
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"aroma/internal/metrics"
+)
+
+// maxPoints bounds every sim-time series. When a series fills, it is
+// decimated deterministically: every other retained point is dropped
+// and the effective sampling stride doubles, so a long run keeps a
+// bounded, evenly spaced sketch whose contents depend only on the
+// sample sequence (never on wall time or memory pressure).
+const maxPoints = 2048
+
+// Label is one name=value pair attached to an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+	kindHostCounter
+	kindHostTimer
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindHostCounter:
+		return "host_counter"
+	case kindHostTimer:
+		return "host_timer"
+	}
+	return "unknown"
+}
+
+// sampled reports whether the kind is recorded into sim-time series.
+func (k kind) sampled() bool {
+	switch k {
+	case kindCounter, kindGauge, kindCounterFunc, kindGaugeFunc:
+		return true
+	}
+	return false
+}
+
+// Point is one sampled (sim-time, value) pair. T is virtual nanoseconds
+// since the start of the simulation.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// series is a bounded, deterministically decimated point list.
+type series struct {
+	pts    []Point
+	stride uint64 // record every stride-th sample; doubles on decimation
+	phase  uint64 // samples seen modulo nothing; compared against stride
+}
+
+func (s *series) add(t int64, v float64) {
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	s.phase++
+	if s.phase%s.stride != 0 {
+		return
+	}
+	if len(s.pts) >= maxPoints {
+		// Keep odd positions: with the stride doubling below, the
+		// retained points are exactly the samples a fresh series with
+		// the doubled stride would have kept.
+		kept := s.pts[:0]
+		for i := 1; i < len(s.pts); i += 2 {
+			kept = append(kept, s.pts[i])
+		}
+		s.pts = kept
+		s.stride *= 2
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// instrument is one registered metric.
+type instrument struct {
+	name   string
+	labels []Label // sorted by key
+	kind   kind
+	slot   uint32             // counters/gauges: index into the dense arrays
+	hist   *metrics.Histogram // kindHistogram
+	lo, hi float64            // histogram bounds (for bucket export)
+	cfn    func() uint64      // kindCounterFunc
+	gfn    func() float64     // kindGaugeFunc
+	hc     *HostCounter
+	ht     *HostTimer
+	series series
+}
+
+// value returns the instrument's current scalar value. Sim-plane kinds
+// must be read on the kernel goroutine; host kinds are atomic.
+func (in *instrument) value() float64 {
+	switch in.kind {
+	case kindCounter:
+		return 0 // resolved by Registry (needs the dense array)
+	case kindHistogram:
+		return float64(in.hist.N())
+	case kindCounterFunc:
+		return float64(in.cfn())
+	case kindGaugeFunc:
+		return in.gfn()
+	case kindHostCounter:
+		return float64(in.hc.Load())
+	case kindHostTimer:
+		return in.ht.Seconds()
+	}
+	return 0
+}
+
+// Registry is a per-world instrument registry.
+//
+// Registration happens at world construction, on one goroutine, before
+// the world runs. Sim-plane updates, Sample, and the exporters must run
+// on the kernel goroutine (the daemon routes scrapes through each
+// world's command loop); host-plane instruments are safe from any
+// goroutine. The registry itself takes no locks — the threading
+// contract above is the synchronization.
+type Registry struct {
+	counters []uint64
+	gauges   []float64
+	insts    []*instrument
+	names    map[string]bool // identity keys, duplicate registration guard
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// identity renders name plus sorted labels; two instruments may share a
+// name only when their label sets differ.
+func identity(name string, labels []Label) string {
+	id := name
+	for _, l := range labels {
+		id += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return id
+}
+
+func (r *Registry) register(in *instrument) *instrument {
+	if in.name == "" {
+		panic("telemetry: empty instrument name")
+	}
+	sort.Slice(in.labels, func(i, j int) bool { return in.labels[i].Key < in.labels[j].Key })
+	switch in.kind {
+	case kindCounter, kindCounterFunc, kindHostCounter:
+		if !hasSuffix(in.name, "_total") {
+			panic("telemetry: counter " + in.name + " must end in _total")
+		}
+	case kindHostTimer:
+		if hasSuffix(in.name, "_total") {
+			panic("telemetry: timer " + in.name + " must not end in _total (it expands to _seconds_total/_ops_total)")
+		}
+	}
+	id := identity(in.name, in.labels)
+	if r.names[id] {
+		panic("telemetry: duplicate instrument " + id)
+	}
+	r.names[id] = true
+	r.insts = append(r.insts, in)
+	return in
+}
+
+// hasSuffix avoids importing strings into the hot-path file's mental
+// model; it is strings.HasSuffix.
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// Counter registers a sim-plane counter and returns its update handle.
+// The name must end in "_total".
+func (r *Registry) Counter(name string, labels ...Label) Counter {
+	slot := uint32(len(r.counters))
+	r.counters = append(r.counters, 0)
+	r.register(&instrument{name: name, labels: labels, kind: kindCounter, slot: slot})
+	return Counter{r: r, slot: slot}
+}
+
+// Gauge registers a sim-plane gauge and returns its update handle.
+func (r *Registry) Gauge(name string, labels ...Label) Gauge {
+	slot := uint32(len(r.gauges))
+	r.gauges = append(r.gauges, 0)
+	r.register(&instrument{name: name, labels: labels, kind: kindGauge, slot: slot})
+	return Gauge{r: r, slot: slot}
+}
+
+// Histogram registers a sim-plane histogram with nbuckets equal-width
+// buckets over [lo, hi) and returns its update handle.
+func (r *Registry) Histogram(name string, lo, hi float64, nbuckets int, labels ...Label) Histogram {
+	h := metrics.NewHistogram(lo, hi, nbuckets)
+	r.register(&instrument{name: name, labels: labels, kind: kindHistogram, hist: h, lo: lo, hi: hi})
+	return Histogram{h: h}
+}
+
+// CounterFunc registers a sim-plane counter whose value is read from fn
+// at sample and export time. Use it for stats a substrate already keeps
+// as a plain field — the hot path pays nothing. fn runs on the kernel
+// goroutine. The name must end in "_total".
+func (r *Registry) CounterFunc(name string, fn func() uint64, labels ...Label) {
+	r.register(&instrument{name: name, labels: labels, kind: kindCounterFunc, cfn: fn})
+}
+
+// GaugeFunc registers a sim-plane gauge read from fn at sample and
+// export time. fn runs on the kernel goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	r.register(&instrument{name: name, labels: labels, kind: kindGaugeFunc, gfn: fn})
+}
+
+// HostCounter registers a host-plane counter: an atomic, safe from any
+// goroutine, excluded from sim-time series. The name must end in
+// "_total".
+func (r *Registry) HostCounter(name string, labels ...Label) *HostCounter {
+	hc := &HostCounter{}
+	r.register(&instrument{name: name, labels: labels, kind: kindHostCounter, hc: hc})
+	return hc
+}
+
+// HostTimer registers a host-plane wall-clock duration accumulator. It
+// exports as two Prometheus counters, <name>_seconds_total and
+// <name>_ops_total. The name must not end in "_total".
+func (r *Registry) HostTimer(name string, labels ...Label) *HostTimer {
+	ht := &HostTimer{}
+	r.register(&instrument{name: name, labels: labels, kind: kindHostTimer, ht: ht})
+	return ht
+}
+
+// Sample records the current value of every sampled sim-plane
+// instrument into its sim-time series at virtual time atNanos. It must
+// run on the kernel goroutine; the world's kernel sampler calls it on a
+// fixed virtual-time period.
+func (r *Registry) Sample(atNanos int64) {
+	for _, in := range r.insts {
+		if !in.kind.sampled() {
+			continue
+		}
+		in.series.add(atNanos, r.scalar(in))
+	}
+}
+
+// scalar resolves an instrument's current value including the
+// dense-array kinds the instrument itself cannot reach.
+func (r *Registry) scalar(in *instrument) float64 {
+	switch in.kind {
+	case kindCounter:
+		return float64(r.counters[in.slot])
+	case kindGauge:
+		return r.gauges[in.slot]
+	}
+	return in.value()
+}
+
+// Counter is a dense-slot handle to a sim-plane counter. The zero value
+// is inert: updates are no-ops, so model code can update
+// unconditionally whether or not telemetry is enabled.
+type Counter struct {
+	r    *Registry
+	slot uint32
+}
+
+// Inc adds one.
+func (c Counter) Inc() {
+	if c.r != nil {
+		c.r.counters[c.slot]++
+	}
+}
+
+// Add adds n.
+func (c Counter) Add(n uint64) {
+	if c.r != nil {
+		c.r.counters[c.slot] += n
+	}
+}
+
+// Value returns the current count (0 for the zero handle).
+func (c Counter) Value() uint64 {
+	if c.r == nil {
+		return 0
+	}
+	return c.r.counters[c.slot]
+}
+
+// Gauge is a dense-slot handle to a sim-plane gauge. The zero value is
+// inert.
+type Gauge struct {
+	r    *Registry
+	slot uint32
+}
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	if g.r != nil {
+		g.r.gauges[g.slot] = v
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g Gauge) Add(d float64) {
+	if g.r != nil {
+		g.r.gauges[g.slot] += d
+	}
+}
+
+// Value returns the current gauge value (0 for the zero handle).
+func (g Gauge) Value() float64 {
+	if g.r == nil {
+		return 0
+	}
+	return g.r.gauges[g.slot]
+}
+
+// Histogram is a handle to a sim-plane histogram. The zero value is
+// inert.
+type Histogram struct {
+	h *metrics.Histogram
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(x float64) {
+	if h.h != nil {
+		h.h.Observe(x)
+	}
+}
+
+// HostCounter is a host-plane atomic counter.
+type HostCounter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *HostCounter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *HostCounter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current count.
+func (c *HostCounter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// HostTimer accumulates wall-clock durations: total time and
+// observation count, both atomic.
+type HostTimer struct {
+	ops   atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one duration.
+func (t *HostTimer) Observe(d time.Duration) {
+	if t != nil {
+		t.ops.Add(1)
+		t.nanos.Add(int64(d))
+	}
+}
+
+// Ops returns the number of observations.
+func (t *HostTimer) Ops() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.ops.Load()
+}
+
+// Seconds returns the accumulated duration in seconds.
+func (t *HostTimer) Seconds() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(t.nanos.Load()) / 1e9
+}

@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("kernel.steps_total")
+	g := r.Gauge("kernel.pending")
+	h := r.Histogram("radio.snr_db", 0, 40, 8)
+
+	c.Inc()
+	c.Add(4)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(10)
+	h.Observe(50) // overflow
+
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %g, want 2", g.Value())
+	}
+	snap := r.Snapshot(0)
+	if v, ok := snap.Value("kernel.steps_total"); !ok || v != 5 {
+		t.Fatalf("snapshot counter = %g ok=%v", v, ok)
+	}
+	if v, ok := snap.Value("radio.snr_db"); !ok || v != 2 {
+		t.Fatalf("snapshot histogram N = %g ok=%v", v, ok)
+	}
+}
+
+func TestZeroValueHandlesAreInert(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("zero handles mutated state: %d %g", c.Value(), g.Value())
+	}
+	var hc *HostCounter
+	var ht *HostTimer
+	hc.Inc()
+	ht.Observe(time.Second)
+	if hc.Load() != 0 || ht.Ops() != 0 || ht.Seconds() != 0 {
+		t.Fatalf("nil host instruments mutated state")
+	}
+}
+
+func TestCounterNamingEnforced(t *testing.T) {
+	r := New()
+	for _, f := range []func(){
+		func() { r.Counter("kernel.steps") },                               // counter without _total
+		func() { r.CounterFunc("radio.sent", func() uint64 { return 0 }) }, // ditto
+		func() { r.HostCounter("host.drops") },                             // ditto
+		func() { r.HostTimer("host.eval_total") },                          // timer with _total
+		func() { r.Counter("") },                                           // empty name
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("registration accepted an invalid name")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := New()
+	r.Counter("a.b_total", L("x", "1"))
+	r.Counter("a.b_total", L("x", "2")) // different labels: fine
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate identity accepted")
+		}
+	}()
+	r.Counter("a.b_total", L("x", "1"))
+}
+
+func TestFuncInstrumentsReadLazily(t *testing.T) {
+	r := New()
+	var sent uint64
+	r.CounterFunc("radio.frames_sent_total", func() uint64 { return sent })
+	r.GaugeFunc("radio.active", func() float64 { return float64(sent) / 2 })
+	sent = 10
+	snap := r.Snapshot(0)
+	if v, _ := snap.Value("radio.frames_sent_total"); v != 10 {
+		t.Fatalf("counter func = %g, want 10", v)
+	}
+	if v, _ := snap.Value("radio.active"); v != 5 {
+		t.Fatalf("gauge func = %g, want 5", v)
+	}
+}
+
+func TestSampleBuildsSeries(t *testing.T) {
+	r := New()
+	c := r.Counter("k.n_total")
+	r.HostCounter("host.x_total") // host plane: never sampled
+	for i := 1; i <= 3; i++ {
+		c.Inc()
+		r.Sample(int64(i) * 100)
+	}
+	snap := r.Snapshot(300)
+	var got []Point
+	for _, in := range snap.Instruments {
+		if in.Name == "k.n_total" {
+			got = in.Series
+		}
+		if in.Name == "host.x_total" && in.Series != nil {
+			t.Fatalf("host instrument grew a sim-time series")
+		}
+	}
+	want := []Point{{100, 1}, {200, 2}, {300, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesDecimationIsDeterministicAndBounded(t *testing.T) {
+	run := func() []Point {
+		r := New()
+		c := r.Counter("k.n_total")
+		for i := 1; i <= 3*maxPoints; i++ {
+			c.Inc()
+			r.Sample(int64(i))
+		}
+		snap := r.Snapshot(0)
+		for _, in := range snap.Instruments {
+			if in.Name == "k.n_total" {
+				return in.Series
+			}
+		}
+		return nil
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) > maxPoints {
+		t.Fatalf("series length %d out of bounds (max %d)", len(a), maxPoints)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("decimation nondeterministic: %d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decimation nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// After decimation the retained points must still be in ascending
+	// time order and span the run.
+	for i := 1; i < len(a); i++ {
+		if a[i].T <= a[i-1].T {
+			t.Fatalf("series time not ascending at %d: %v then %v", i, a[i-1], a[i])
+		}
+	}
+	if last := a[len(a)-1]; last.T != int64(3*maxPoints) {
+		t.Fatalf("last retained sample T = %d, want %d", last.T, 3*maxPoints)
+	}
+}
+
+func TestSnapshotJSONAndOrdering(t *testing.T) {
+	r := New()
+	r.Gauge("b.depth", L("lane", "1"))
+	r.Gauge("b.depth", L("lane", "0"))
+	r.Counter("a.n_total")
+	snap := r.Snapshot(42)
+	if snap.At != 42 {
+		t.Fatalf("At = %d", snap.At)
+	}
+	names := make([]string, 0, 3)
+	for _, in := range snap.Instruments {
+		names = append(names, in.Name+"/"+in.Labels["lane"])
+	}
+	want := []string{"a.n_total/", "b.depth/0", "b.depth/1"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	c := r.Counter("kernel.steps_total")
+	c.Add(7)
+	g := r.Gauge("radio.active")
+	g.Set(2.5)
+	r.Counter("radio.shard_fallback_total", L("reason", "small_fanout"))
+	h := r.Histogram("mac.backoff_slots", 0, 8, 4)
+	h.Observe(1)
+	h.Observe(9) // over
+	hc := r.HostCounter("host.sse_dropped_total")
+	hc.Add(3)
+	ht := r.HostTimer("host.shard_eval")
+	ht.Observe(1500 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, L("world", "w1")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE aroma_kernel_steps_total counter",
+		`aroma_kernel_steps_total{world="w1"} 7`,
+		`aroma_radio_active{world="w1"} 2.5`,
+		`aroma_radio_shard_fallback_total{reason="small_fanout",world="w1"} 0`,
+		`aroma_mac_backoff_slots_bucket{le="+Inf",world="w1"} 2`,
+		`aroma_mac_backoff_slots_count{world="w1"} 2`,
+		`aroma_host_sse_dropped_total{world="w1"} 3`,
+		`aroma_host_shard_eval_seconds_total{world="w1"} 1.5`,
+		`aroma_host_shard_eval_ops_total{world="w1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Two identical exports must render byte-identically.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2, L("world", "w1")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if out != b2.String() {
+		t.Fatalf("prometheus output not stable across renders")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("x.lat", 0, 4, 4)
+	for _, v := range []float64{-1, 0.5, 1.5, 1.6, 3.9, 10} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`aroma_x_lat_bucket{le="1"} 2`,    // underflow + 0.5
+		`aroma_x_lat_bucket{le="2"} 4`,    // + 1.5, 1.6
+		`aroma_x_lat_bucket{le="3"} 4`,    //
+		`aroma_x_lat_bucket{le="4"} 5`,    // + 3.9
+		`aroma_x_lat_bucket{le="+Inf"} 6`, // + overflow
+		`aroma_x_lat_count 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHotPathZeroAllocs is the hard zero-allocation gate on the
+// sim-plane update path — exact, unlike the benchgate allocs jitter
+// floor. Handle updates (live and zero-value) must be allocation-free
+// or instrumented model code would churn the GC on every event.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("hot.events_total")
+	g := r.Gauge("hot.depth")
+	h := r.Histogram("hot.lat", 0, 100, 32)
+	var zc Counter
+	var zg Gauge
+	var zh Histogram
+	i := 0.0
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(i)
+		h.Observe(i)
+		zc.Inc()
+		zg.Set(i)
+		zh.Observe(i)
+		i++
+	}); n != 0 {
+		t.Fatalf("hot-path allocs/op = %v, want 0", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 )
 
 // Wire types. sim.Time is a time.Duration, so every duration field
@@ -42,8 +43,12 @@ type WorldInfo struct {
 	Forks    int      `json:"forks"`
 	// Shards is the world's effective shard worker count (1 =
 	// sequential execution; digests are identical either way).
-	Shards int    `json:"shards"`
-	Digest string `json:"digest"`
+	Shards int `json:"shards"`
+	// ShardFallback is the human-readable reason the world runs
+	// sequentially despite a shard request ("" when sharding engaged or
+	// was never requested) — e.g. "no receive cutoff".
+	ShardFallback string `json:"shard_fallback,omitempty"`
+	Digest        string `json:"digest"`
 }
 
 // CreateWorldRequest builds a new world from a registered scenario.
@@ -203,6 +208,34 @@ func (c *Client) Result(ctx context.Context, id string) (*ResultInfo, error) {
 func (c *Client) State(ctx context.Context, id string) (json.RawMessage, error) {
 	var out json.RawMessage
 	return out, c.do(ctx, http.MethodGet, "/v1/worlds/"+url.PathEscape(id)+"/state", nil, &out)
+}
+
+// WorldMetrics returns one world's instrument snapshot: every
+// instrument's value at the world's current instant plus the sampled
+// sim-time series.
+func (c *Client) WorldMetrics(ctx context.Context, id string) (*telemetry.Snapshot, error) {
+	var out telemetry.Snapshot
+	return &out, c.do(ctx, http.MethodGet, "/v1/worlds/"+url.PathEscape(id)+"/metrics", nil, &out)
+}
+
+// MetricsText fetches the daemon's Prometheus text exposition —
+// server host-plane instruments plus every hosted world's registry
+// labelled world="<id>".
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
 }
 
 // DeleteWorld removes a hosted world.

@@ -110,7 +110,8 @@
 // hearing range admits no safe tile), arenas smaller than two tiles,
 // shadow fading (per-receipt RNG is order-sensitive), or a mid-run
 // attach of a louder radio that collapses the region layout.
-// World.Shards reports the engaged worker count; World.Close releases
+// World.Shards reports the engaged worker count plus the fallback
+// reason when sequential execution won; World.Close releases
 // the worker pool (idempotent, and a finalizer backstops it).
 //
 // The mode pays off when per-transmission fan-out is large and real
@@ -142,6 +143,33 @@
 // worlds step in parallel. pkg/aroma/client is the typed Go client,
 // and snapshot bytes downloaded from the daemon restore in-process to
 // the bit-identical world (and vice versa).
+//
+// # Observability
+//
+// World.EnableTelemetry (or WithTelemetry, scenario.Config.Metrics,
+// sweep.Design.Telemetry, the -metrics CLI flags) attaches a per-world
+// instrument registry (internal/telemetry) covering the whole stack:
+// kernel scheduling, radio medium, MAC, network, discovery/lease, and
+// the trace bus. A kernel sampler records every instrument at a fixed
+// virtual period (100 ms by default), producing deterministic sim-time
+// series; Telemetry().Snapshot exports final values plus series as
+// JSON, and WritePrometheus renders the Prometheus text format that
+// aromad serves at GET /metrics.
+//
+// Instruments live on two strictly separated planes. Sim-plane
+// instruments (aroma_kernel_*, aroma_radio_*, aroma_mac_*, aroma_net_*,
+// aroma_discovery_*, aroma_lease_*, aroma_trace_*) are updated on the
+// kernel goroutine and read model counters the simulation already
+// keeps; names are dot-separated with counters ending _total, and
+// dimensions (shard-fallback reason, trace severity) are labels.
+// Host-plane instruments (aroma_host_*) measure wall-clock reality —
+// shard-pool timings, SSE drops — behind atomics, and are never
+// sampled on sim time. Telemetry is a pure observer: it draws no
+// randomness, schedules no events, writes no trace records, and is
+// excluded from ExportState, Digest, and checkpoint provenance, so a
+// run's digest is bit-identical with telemetry on or off (pinned by
+// the determinism suite) and the hot path stays allocation-free
+// (pinned by a gated benchmark).
 //
 // # Static analysis
 //

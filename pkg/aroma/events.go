@@ -1,6 +1,9 @@
 package aroma
 
-import "aroma/internal/trace"
+import (
+	"aroma/internal/telemetry"
+	"aroma/internal/trace"
+)
 
 // Bus is the world's typed event bus: it bridges the runtime trace to
 // live subscribers. Events are delivered synchronously, in record order,
@@ -10,6 +13,12 @@ type Bus struct {
 	subs       []*busSub
 	Published  uint64
 	Deliveries uint64
+
+	// sevCounters, when telemetry is enabled, holds one per-severity
+	// trace.events_total counter handle, indexed by trace.Severity.
+	// Counter handles are dense-slot values: bumping one is an indexed
+	// add with no allocation, keeping publish hot-path safe.
+	sevCounters []telemetry.Counter
 }
 
 type busSub struct {
@@ -54,10 +63,17 @@ func (b *Bus) Subscribers() int {
 	return n
 }
 
+// bindCounters attaches the per-severity telemetry counters publish
+// bumps (index = trace.Severity).
+func (b *Bus) bindCounters(c []telemetry.Counter) { b.sevCounters = c }
+
 // publish fans one event out to the live subscribers. It iterates a
 // snapshot of the list so callbacks may subscribe or cancel reentrantly.
 func (b *Bus) publish(ev trace.Event) {
 	b.Published++
+	if s := int(ev.Severity); s >= 0 && s < len(b.sevCounters) {
+		b.sevCounters[s].Inc()
+	}
 	snapshot := b.subs
 	for _, s := range snapshot {
 		if s.fn != nil && ev.Severity >= s.min {

@@ -26,6 +26,9 @@ type worldOptions struct {
 	netOpts        []netsim.Option
 	announcePeriod sim.Time
 	analysis       []core.AnalysisOption
+
+	telemetry       bool
+	telemetryPeriod sim.Time
 }
 
 func defaultWorldOptions() worldOptions {
@@ -135,6 +138,17 @@ func WithGlobalRadioInvalidation() Option {
 func WithShards(n int) Option {
 	return func(o *worldOptions) {
 		o.mediumOpts = append(o.mediumOpts, radio.WithShards(n))
+	}
+}
+
+// WithTelemetry enables the world's instrument registry and sim-time
+// sampler at construction (see World.EnableTelemetry). period <= 0
+// selects DefaultTelemetryPeriod. Telemetry is a pure observer:
+// digests and exported state are bit-identical with it on or off.
+func WithTelemetry(period sim.Time) Option {
+	return func(o *worldOptions) {
+		o.telemetry = true
+		o.telemetryPeriod = period
 	}
 }
 

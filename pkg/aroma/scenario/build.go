@@ -71,6 +71,9 @@ func (b *Built) Result() *Result {
 	res.SimTime = b.World.Now()
 	res.Steps = b.World.Kernel().Steps()
 	res.Digest = b.World.Digest()
+	if reg := b.World.Telemetry(); reg != nil {
+		res.Telemetry = reg.Snapshot(int64(b.World.Now()))
+	}
 	return res
 }
 
@@ -115,10 +118,14 @@ func Build(name string, cfg Config) (b *Built, err error) {
 		Scenario: name, Seed: cfg.Seed, Horizon: cfg.Horizon,
 		Verbose: cfg.Verbose, Params: params,
 	})
-	// Execution strategy, applied after the recipe is stamped: sharding
-	// never changes digests, so it is not part of the provenance.
+	// Execution strategy and observability, applied after the recipe is
+	// stamped: neither sharding nor telemetry changes digests, so
+	// neither is part of the provenance.
 	if cfg.Shards > 1 {
 		b.World.SetShards(cfg.Shards)
+	}
+	if cfg.Metrics {
+		b.World.EnableTelemetry(0)
 	}
 	return b, nil
 }

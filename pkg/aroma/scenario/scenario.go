@@ -18,6 +18,7 @@ import (
 
 	"aroma/internal/core"
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 	"aroma/internal/trace"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	// worlds the mode cannot shard (no radio cutoff, arena too small) —
 	// run sequentially; never an error.
 	Shards int
+	// Metrics, when true, enables the world's telemetry registry and
+	// sim-time sampler (aroma.WithTelemetry semantics) for
+	// world-registered scenarios. Like Shards, telemetry is pure
+	// observation, not part of the workload: digests are bit-identical
+	// with it on or off, and it is absent from the world's Provenance.
+	Metrics bool
 }
 
 // Param returns the raw value of a named parameter and whether it is set.
@@ -165,6 +172,10 @@ type Result struct {
 	// anything a scenario narrates as a number worth comparing should
 	// also land here.
 	Metrics map[string]float64
+	// Telemetry is the world's instrument snapshot at result time, when
+	// the run had telemetry enabled (Config.Metrics): every instrument's
+	// final value plus the sampled sim-time series. Nil otherwise.
+	Telemetry *telemetry.Snapshot
 }
 
 // Metric records one named observable on the result.

@@ -49,6 +49,42 @@ func TestEveryScenarioIsSeedReproducible(t *testing.T) {
 	}
 }
 
+// TestTelemetryDoesNotPerturbDigests is the telemetry half of the
+// determinism contract: every world-registered scenario, run with and
+// without the instrument registry and its sim-time sampler, must
+// produce bit-identical digests and step counts. Telemetry is a pure
+// observer — samplers live outside the event queue and instruments
+// read counters the model already keeps — so any divergence here means
+// an instrument leaked into scheduling, RNG, or trace state.
+func TestTelemetryDoesNotPerturbDigests(t *testing.T) {
+	for _, name := range scenario.BuildableNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{7, 42} {
+				plain, err := scenario.Run(name, scenario.Config{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d plain: %v", seed, err)
+				}
+				instrumented, err := scenario.Run(name, scenario.Config{Seed: seed, Metrics: true})
+				if err != nil {
+					t.Fatalf("seed %d instrumented: %v", seed, err)
+				}
+				if instrumented.Telemetry == nil {
+					t.Fatalf("seed %d: Metrics=true produced no telemetry snapshot", seed)
+				}
+				if plain.Digest != instrumented.Digest {
+					t.Errorf("seed %d: plain digest %s != instrumented digest %s",
+						seed, plain.Digest, instrumented.Digest)
+				}
+				if plain.Steps != instrumented.Steps {
+					t.Errorf("seed %d: step counts diverge: plain=%d instrumented=%d",
+						seed, plain.Steps, instrumented.Steps)
+				}
+			}
+		})
+	}
+}
+
 // TestMobileDenseInvalidationModesDigestMatch runs the mobile-dense
 // workload (movers active, cutoff+grid enabled) under the default
 // cell-granular invalidation and the global-wipe reference

@@ -103,6 +103,14 @@ type Design struct {
 	// on both levels.
 	Shards int
 
+	// Telemetry, when true, enables each replication's instrument
+	// registry and sim-time sampler (scenario.Config.Metrics). Each
+	// successful run's snapshot rides on its Row and is written as the
+	// metrics.jsonl artifact next to runs.jsonl. Like Shards, telemetry
+	// is pure observation: digests and cell statistics are identical
+	// with it on or off.
+	Telemetry bool
+
 	// Snapshot, when non-nil, is a pkg/aroma/checkpoint image and turns
 	// the campaign into snapshot-forked replications: instead of a cold
 	// build, every replication restores the snapshot and forks it with

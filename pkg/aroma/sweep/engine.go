@@ -161,6 +161,7 @@ func (s *Sweep) runOne(ti int) Row {
 		Out:     &buf,
 		Params:  cell.Params,
 		Shards:  s.design.Shards,
+		Metrics: s.design.Telemetry,
 	}
 	t0 := time.Now()
 	res, err := s.call(cfg)
@@ -179,6 +180,7 @@ func (s *Sweep) runOne(ti int) Row {
 		return row
 	}
 	row.Name = res.Name
+	row.Telemetry = res.Telemetry
 	row.Digest = res.Digest
 	row.Steps = res.Steps
 	row.SimTime = res.SimTime
@@ -227,6 +229,9 @@ func (s *Sweep) runForked(cfg scenario.Config) (*scenario.Result, error) {
 	}
 	if cfg.Shards > 1 {
 		b.World.SetShards(cfg.Shards)
+	}
+	if cfg.Metrics {
+		b.World.EnableTelemetry(0)
 	}
 	defer b.World.Close()
 	horizon := b.Horizon

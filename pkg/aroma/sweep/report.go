@@ -12,6 +12,7 @@ import (
 
 	"aroma/internal/metrics"
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 )
 
 // Row is one completed run: the (cell, replication) coordinates, the
@@ -37,6 +38,11 @@ type Row struct {
 	WallNS int64  `json:"wall_ns"`
 	Output string `json:"output,omitempty"`
 	Err    string `json:"err,omitempty"`
+
+	// Telemetry is the run's instrument snapshot (Design.Telemetry).
+	// It is excluded from runs.jsonl — series are bulky — and written
+	// to the separate metrics.jsonl artifact instead.
+	Telemetry *telemetry.Snapshot `json:"-"`
 
 	// Done distinguishes a completed run from a task the sweep never
 	// started (cancellation); buildReport drops undone rows.
@@ -154,6 +160,40 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
+// HasTelemetry reports whether any row carries an instrument snapshot.
+func (r *Report) HasTelemetry() bool {
+	for _, row := range r.Rows {
+		if row.Telemetry != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteMetricsJSONL writes one JSON object per telemetry-carrying run,
+// in task order: the run's (cell, rep, seed) coordinates plus its full
+// instrument snapshot (final values and sim-time series).
+func (r *Report) WriteMetricsJSONL(w io.Writer) error {
+	type line struct {
+		Cell      int                 `json:"cell"`
+		Label     string              `json:"label,omitempty"`
+		Rep       int                 `json:"rep"`
+		Seed      int64               `json:"seed"`
+		Telemetry *telemetry.Snapshot `json:"telemetry"`
+	}
+	enc := json.NewEncoder(w)
+	for _, row := range r.Rows {
+		if row.Telemetry == nil {
+			continue
+		}
+		l := line{Cell: row.Cell, Label: row.Label, Rep: row.Rep, Seed: row.Seed, Telemetry: row.Telemetry}
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteCSV writes the per-cell aggregate: one record per cell with the
 // axis values followed by run counts and mean/ci95/min/max per metric.
 // Axis columns are prefixed "param_" so an axis named like a fixed or
@@ -198,8 +238,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 }
 
 // WriteArtifacts writes the standard artifact set into dir (created if
-// missing): runs.jsonl (per-run rows), cells.csv (per-cell aggregate),
-// and report.txt (the rendered ASCII table).
+// missing): runs.jsonl (per-run rows), metrics.jsonl (per-run
+// instrument snapshots, when the design enabled telemetry), cells.csv
+// (per-cell aggregate), and report.txt (the rendered ASCII table).
 func (r *Report) WriteArtifacts(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -217,6 +258,11 @@ func (r *Report) WriteArtifacts(dir string) error {
 	}
 	if err := write("runs.jsonl", r.WriteJSONL); err != nil {
 		return err
+	}
+	if r.HasTelemetry() {
+		if err := write("metrics.jsonl", r.WriteMetricsJSONL); err != nil {
+			return err
+		}
 	}
 	if err := write("cells.csv", r.WriteCSV); err != nil {
 		return err

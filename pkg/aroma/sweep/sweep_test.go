@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 	"aroma/pkg/aroma/scenario"
 	_ "aroma/pkg/aroma/scenarios" // registry: the real-workload tests use mobiledense
 )
@@ -445,5 +446,55 @@ func TestExplicitSeedsAllowClassicZero(t *testing.T) {
 	rep := mustRun(t, d, WithWorkers(1))
 	if len(rep.Rows) != 2 || rep.Rows[0].Seed != 0 || rep.Rows[1].Seed != 5 {
 		t.Fatalf("rows = %+v", rep.Rows)
+	}
+}
+
+// TestTelemetryArtifact runs a real instrumented sweep and checks the
+// metrics.jsonl artifact: one snapshot line per run, instruments
+// populated, and runs.jsonl still free of the bulky series.
+func TestTelemetryArtifact(t *testing.T) {
+	dir := t.TempDir()
+	d := Design{
+		Scenario:  "mobiledense",
+		Seeds:     []int64{7, 42},
+		Telemetry: true,
+	}
+	rep := mustRun(t, d, WithWorkers(2))
+	if !rep.HasTelemetry() {
+		t.Fatal("Design.Telemetry did not produce snapshots")
+	}
+	if err := rep.WriteArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "metrics.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != rep.Total {
+		t.Fatalf("metrics.jsonl lines = %d, want %d", len(lines), rep.Total)
+	}
+	var line struct {
+		Seed      int64               `json:"seed"`
+		Telemetry *telemetry.Snapshot `json:"telemetry"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil {
+		t.Fatalf("metrics.jsonl line not JSON: %v", err)
+	}
+	if line.Telemetry == nil || len(line.Telemetry.Instruments) == 0 {
+		t.Fatalf("metrics.jsonl line has no instruments: %s", lines[0])
+	}
+	if v, ok := line.Telemetry.Value("kernel.steps_total"); !ok || v <= 0 {
+		t.Fatalf("kernel.steps_total = %v (ok=%v), want > 0", v, ok)
+	}
+
+	// The snapshots stay out of runs.jsonl.
+	runs, err := os.ReadFile(filepath.Join(dir, "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(runs), `"telemetry"`) {
+		t.Error("runs.jsonl embeds telemetry snapshots")
 	}
 }

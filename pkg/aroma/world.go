@@ -11,6 +11,7 @@ import (
 	"aroma/internal/netsim"
 	"aroma/internal/radio"
 	"aroma/internal/sim"
+	"aroma/internal/telemetry"
 	"aroma/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type World struct {
 	// prov, when set, is the world's build recipe (see Provenance) —
 	// the key that makes the world snapshottable.
 	prov *Provenance
+
+	// tel, when set, is the world's instrument registry (see
+	// EnableTelemetry); telStop halts its kernel sampler.
+	tel     *telemetry.Registry
+	telStop func()
 }
 
 // NewWorld assembles a world from functional options.
@@ -73,6 +79,9 @@ func NewWorld(opts ...Option) *World {
 		byName: make(map[string]*Device),
 	}
 	log.OnRecord = w.bus.publish
+	if o.telemetry {
+		w.EnableTelemetry(o.telemetryPeriod)
+	}
 	return w
 }
 
@@ -147,8 +156,15 @@ func (w *World) Ticker(period sim.Time, label string, fn func()) (stop func()) {
 // fallbacks. Digests are unaffected either way.
 func (w *World) SetShards(n int) int { return w.medium.SetShards(n) }
 
-// Shards returns the configured shard worker count (1 = sequential).
-func (w *World) Shards() int { return w.medium.Shards() }
+// Shards returns the effective shard worker count (1 = sequential) and,
+// when the last shard configuration fell back to sequential execution,
+// the human-readable reason ("" when sharding engaged or was never
+// requested). Surfacing the reason keeps silent fallbacks — an arena
+// too small for two regions, a missing receive cutoff — visible to
+// operators instead of just a mysteriously sequential world.
+func (w *World) Shards() (int, string) {
+	return w.medium.Shards(), w.medium.ShardFallback()
+}
 
 // Close releases the world's host resources — today, the sharded
 // execution mode's worker pool. The world remains usable afterwards

@@ -42,10 +42,14 @@ echo "== world fan-out, sequential vs sharded (count=$count, benchtime=$benchtim
 go test -run '^$' -bench 'BenchmarkWorldSharded' -benchmem \
     -count "$count" -benchtime "$benchtime" ./pkg/aroma/ | tee -a "$tmp"
 
+echo "== telemetry hot path (count=$count, benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkTelemetry' -benchmem \
+    -count "$count" -benchtime "$benchtime" ./internal/telemetry/ | tee -a "$tmp"
+
 if [[ "${SKIP_ROOT:-0}" != 1 ]]; then
     echo "== root figure/claim benchmarks (one shot each)"
     go test -run '^$' -bench '.' -benchmem -benchtime 1x . | tee -a "$tmp"
 fi
 
 go run ./cmd/benchgate -emit "$out" -in "$tmp" \
-    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*, BenchmarkCheckpoint*, BenchmarkWorldSharded*"
+    -note "recorded by scripts/bench.sh; gated subset: BenchmarkKernel*, BenchmarkMediumDense*, BenchmarkCheckpoint*, BenchmarkWorldSharded*, BenchmarkTelemetry*"
