@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	aromad [-addr host:port]
+//	aromad [-addr host:port] [-shards N] [-supervise N]
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight requests
 // get a grace period, every hosted world's command loop stops.
@@ -29,18 +29,26 @@ import (
 	"time"
 
 	"aroma/internal/daemon"
+	"aroma/pkg/aroma"
+	"aroma/pkg/aroma/scenario"
 	_ "aroma/pkg/aroma/scenarios" // populate the scenario registry
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
 	shards := flag.Int("shards", 0, "default shard workers for hosted worlds (<2 = sequential; per-world requests override; digests are identical either way)")
+	supervise := flag.Int("supervise", 0, "self-healing restart budget per world: resurrect a failed world from its most recent snapshot up to N times (0 = failures are terminal)")
+	chaos := flag.Bool("chaos", false, "register the chaosbomb drill scenario (panics out of a kernel event at t=10s) for exercising panic isolation and supervised recovery")
 	flag.Parse()
+
+	if *chaos {
+		registerChaosBomb()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := daemon.New(daemon.WithDefaultShards(*shards))
+	srv := daemon.New(daemon.WithDefaultShards(*shards), daemon.WithSupervisor(*supervise))
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)
@@ -56,6 +64,27 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	shutdown(hs, srv)
+}
+
+// registerChaosBomb adds the chaos drill to this process's scenario
+// registry: a world that panics out of a kernel event mid-run. Gated
+// behind -chaos so ordinary daemons never host it by accident; CI's
+// chaos smoke drives the panic-isolation and supervisor-resurrection
+// paths through it over plain HTTP.
+func registerChaosBomb() {
+	scenario.RegisterWorld("chaosbomb", "chaos drill: panics out of a kernel event at t=10s",
+		func(cfg scenario.Config) (*scenario.Built, error) {
+			w := aroma.NewWorld(aroma.WithName("chaos"), aroma.WithSeed(cfg.SeedOr(1)))
+			w.AddDevice("dev", aroma.Pt(1, 1), aroma.WithSpec(aroma.AdapterSpec()))
+			w.Schedule(10*aroma.Second, "chaos.detonate", func() {
+				panic("chaosbomb: injected drill failure")
+			})
+			return &scenario.Built{World: w, Horizon: cfg.HorizonOr(30 * aroma.Second)}, nil
+		})
+}
+
+func shutdown(hs *http.Server, srv *daemon.Server) {
 	fmt.Fprintln(os.Stderr, "aromad: shutting down")
 	// Close the worlds first: that ends every SSE stream (they select on
 	// the world's quit channel), so Shutdown is not held open by

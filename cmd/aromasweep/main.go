@@ -45,8 +45,19 @@ func (a *axisFlags) Set(s string) error {
 	return nil
 }
 
+// stringsFlag collects a repeated string flag (-faults plan per arm).
+type stringsFlag []string
+
+func (f *stringsFlag) String() string { return strings.Join(*f, " | ") }
+
+func (f *stringsFlag) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
 func main() {
 	var axes axisFlags
+	var faults stringsFlag
 	name := flag.String("scenario", "", "registered scenario to sweep (see -list)")
 	reps := flag.Int("reps", 1, "replications per grid cell (seeds seed, seed+1, ...)")
 	seed := flag.Int64("seed", 1, "base seed for derived replication seeds")
@@ -57,12 +68,14 @@ func main() {
 	out := flag.String("out", "", "directory for artifacts: runs.jsonl, cells.csv, report.txt (and metrics.jsonl with -metrics)")
 	telemetry := flag.Bool("metrics", false, "enable per-run telemetry; snapshots are written to metrics.jsonl next to runs.jsonl")
 	failFast := flag.Bool("failfast", false, "stop the sweep at the first failed run")
+	retryFailed := flag.Bool("retry-failed", false, "re-run each failed replication once with the identical config (second attempt recorded in runs.jsonl)")
 	verbose := flag.Bool("verbose", false, "print every run's captured output as it completes")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on clean exit")
 	flag.Var(&axes, "set", "parameter axis as name=v1,v2,... (repeatable; cross-product spans the grid)")
+	flag.Var(&faults, "faults", "fault-plan arm to sweep, e.g. 'jam:at=5s,for=10s,loss=40' or 'none' (repeatable; each arm reruns the whole grid with identical seeds)")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -84,14 +97,16 @@ func main() {
 	}
 
 	design := sweep.Design{
-		Scenario:  *name,
-		Axes:      axes,
-		Reps:      *reps,
-		BaseSeed:  *seed,
-		Horizon:   sim.Time(*minutes) * sim.Minute,
-		Verbose:   *verbose,
-		Shards:    *shards,
-		Telemetry: *telemetry,
+		Scenario:    *name,
+		Axes:        axes,
+		Reps:        *reps,
+		BaseSeed:    *seed,
+		Horizon:     sim.Time(*minutes) * sim.Minute,
+		Verbose:     *verbose,
+		Shards:      *shards,
+		Telemetry:   *telemetry,
+		Faults:      faults,
+		RetryFailed: *retryFailed,
 	}
 	if *seeds != "" {
 		for _, part := range strings.Split(*seeds, ",") {

@@ -9,10 +9,10 @@ import (
 
 func TestGoroutineGuard(t *testing.T) {
 	a := goroutineguard.New(goroutineguard.Config{
-		Deterministic: []string{"detgo"},
+		Deterministic: []string{"detgo", "faultgo"},
 		Guarded:       []string{"gopkg.Kernel"},
 		AllowedFuncs: []string{"gopkg.newHost", "gopkg.(*Pool).Run",
 			"gopkg.(*Server).scrapeWorlds", "detgo.(*runner).startWorkers"},
 	})
-	analysistest.Run(t, a, "gopkg", "detgo")
+	analysistest.Run(t, a, "gopkg", "detgo", "faultgo")
 }

@@ -1,0 +1,30 @@
+// Package faultgo mirrors the fault plane (internal/fault) as a
+// deterministic package: faults fire as kernel events on the world's
+// single thread, so any go statement here is suspect — except the
+// daemon supervisor's audited, annotated resurrection hook.
+package faultgo
+
+type injector struct {
+	pending []int64
+}
+
+func (in *injector) fire() {}
+
+// fireAsync moves an injection off the kernel thread: the fault would
+// land at a host-scheduler-dependent instant, outside the digest.
+func (in *injector) fireAsync() {
+	go in.fire() // want `go statement in deterministic package`
+}
+
+// onFail mirrors the daemon host's supervisor hook: the annotation
+// records the audit (the hook touches a freshly restored world and
+// the server's locked maps, never this world's state).
+func onFail(hook func()) {
+	//aroma:goroutine supervisor hook runs against server maps and a restored world, never live sim state
+	go hook()
+}
+
+// onFailRogue is the same detached hook without the audit: flagged.
+func onFailRogue(hook func()) {
+	go hook() // want `go statement in deterministic package`
+}

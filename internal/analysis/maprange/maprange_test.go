@@ -8,8 +8,8 @@ import (
 )
 
 func TestMapRange(t *testing.T) {
-	a := maprange.New(maprange.Config{Packages: []string{"detpkg", "prepr2"}})
-	diags := analysistest.Run(t, a, "detpkg", "prepr2", "outofscope")
+	a := maprange.New(maprange.Config{Packages: []string{"detpkg", "prepr2", "faultpkg"}})
+	diags := analysistest.Run(t, a, "detpkg", "prepr2", "outofscope", "faultpkg")
 	if n := len(diags["outofscope"]); n != 0 {
 		t.Errorf("outofscope package produced %d diagnostics, want 0", n)
 	}

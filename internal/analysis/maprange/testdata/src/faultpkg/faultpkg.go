@@ -1,0 +1,49 @@
+// Package faultpkg mirrors the fault plane (internal/fault) as a
+// deterministic package: an injector arming per-device faults from a
+// map must not let map order decide the injection schedule.
+package faultpkg
+
+import "sort"
+
+type spec struct {
+	at    int64
+	count int
+}
+
+type injector struct {
+	armed map[int]spec // device id → armed fault
+	fired []int
+}
+
+// armAll schedules straight out of the map: whichever device the
+// runtime yields first gets the first RNG draw, so two runs of the
+// same seed diverge. The reconstructed bug class this scope exists
+// to reject.
+func (in *injector) armAll(schedule func(int64, int)) {
+	for dev, s := range in.armed { // want `map iteration order is nondeterministic`
+		schedule(s.at, dev)
+	}
+}
+
+// armSorted is the injector's sanctioned pattern: fix the device
+// order first, then draw from the fault RNG stream.
+func (in *injector) armSorted(schedule func(int64, int)) {
+	devs := make([]int, 0, len(in.armed))
+	//aroma:ordered device ids only; sorted before any RNG draw
+	for dev := range in.armed {
+		devs = append(devs, dev)
+	}
+	sort.Ints(devs)
+	for _, dev := range devs {
+		schedule(in.armed[dev].at, dev)
+	}
+}
+
+// injectedTotal is commutative accumulation over the armed set: fine.
+func (in *injector) injectedTotal() int {
+	n := 0
+	for _, s := range in.armed {
+		n += s.count
+	}
+	return n
+}

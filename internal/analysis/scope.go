@@ -19,6 +19,7 @@ var (
 		"aroma/internal/discovery",
 		"aroma/internal/lease",
 		"aroma/internal/session",
+		"aroma/internal/fault",
 		"aroma/pkg/aroma",
 	}
 
@@ -62,6 +63,7 @@ var (
 		"aroma/internal/lease.Table",
 		"aroma/internal/session.Manager",
 		"aroma/internal/trace.Log",
+		"aroma/internal/fault.Injector",
 		"aroma/pkg/aroma.World",
 		"aroma/pkg/aroma/scenario.Built",
 	}

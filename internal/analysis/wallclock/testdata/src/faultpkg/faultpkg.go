@@ -1,0 +1,34 @@
+// Package faultpkg mirrors the fault plane (internal/fault) as a
+// deterministic package: fault schedules must come from kernel time
+// and the dedicated seeded fault stream, never the host clock or the
+// global generator.
+package faultpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// jitterWall stamps a fault window from the host clock: the schedule
+// would differ on every run and every machine.
+func jitterWall() int64 {
+	return time.Now().UnixNano() // want `host clock function time.Now`
+}
+
+// jitterGlobal draws from the global generator: shared, unseeded
+// ambient randomness outside the world's recipe.
+func jitterGlobal(window int) int {
+	return rand.Intn(window) // want `global generator function rand.Intn`
+}
+
+// stream is the injector's real pattern: a dedicated generator seeded
+// from the world seed, every draw accountable.
+func stream(seed int64, window int) int {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eedFA17))
+	return rng.Intn(window)
+}
+
+// horizonOffset is pure sim-time arithmetic with no ambient state.
+func horizonOffset(at, d int64) time.Duration {
+	return time.Duration(at + d)
+}

@@ -9,10 +9,10 @@ import (
 
 func TestWallclock(t *testing.T) {
 	a := wallclock.New(wallclock.Config{
-		Packages:  []string{"simpkg", "realpkg", "telpkg"},
+		Packages:  []string{"simpkg", "realpkg", "telpkg", "faultpkg"},
 		Allowlist: []string{"realpkg", "telpkg"},
 	})
-	diags := analysistest.Run(t, a, "simpkg", "realpkg", "telpkg")
+	diags := analysistest.Run(t, a, "simpkg", "realpkg", "telpkg", "faultpkg")
 	if n := len(diags["realpkg"]); n != 0 {
 		t.Errorf("allowlisted package produced %d diagnostics, want 0", n)
 	}

@@ -66,11 +66,20 @@ type Server struct {
 	// sets its own count. Digests are identical either way.
 	defaultShards int
 
+	// superviseBudget, when > 0, enables the self-healing supervisor:
+	// a world whose command loop catches a panic is restored from its
+	// most recent snapshot and swapped back in under the same ID, up to
+	// this many times per world lineage (Provenance.Restarts carries
+	// the count across resurrections). 0 leaves failed worlds failed.
+	superviseBudget int
+
 	// reg holds the server's own host-plane instruments (SSE drops,
 	// hosted-world gauge); per-world instruments live in each world's
 	// registry and are merged into /metrics with a world label.
-	reg        *telemetry.Registry
-	sseDropped *telemetry.HostCounter
+	reg           *telemetry.Registry
+	sseDropped    *telemetry.HostCounter
+	worldFailed   *telemetry.HostCounter
+	worldRestarts *telemetry.HostCounter
 
 	mux *http.ServeMux
 }
@@ -83,6 +92,18 @@ type Option func(*Server)
 // choose its own (the aromad -shards flag). Values < 2 mean sequential.
 func WithDefaultShards(n int) Option {
 	return func(s *Server) { s.defaultShards = n }
+}
+
+// WithSupervisor enables the self-healing supervisor (the aromad
+// -supervise flag): when a world's command loop catches a panic, the
+// daemon restores the world's most recent snapshot and swaps the
+// resurrected world in under the same ID, with Provenance.Restarts
+// bumped so the lineage is auditable. budget bounds the resurrections
+// per world lineage — a world that keeps dying past its budget, or
+// that was never snapshotted, stays terminally failed instead of
+// crash-looping. budget <= 0 disables supervision.
+func WithSupervisor(budget int) Option {
+	return func(s *Server) { s.superviseBudget = budget }
 }
 
 type storedSnap struct {
@@ -102,7 +123,10 @@ func New(opts ...Option) *Server {
 	}
 	s.reg = telemetry.New()
 	s.sseDropped = s.reg.HostCounter("host.sse_dropped_total")
+	s.worldFailed = s.reg.HostCounter("host.world_failures_total")
+	s.worldRestarts = s.reg.HostCounter("host.world_restarts_total")
 	s.reg.GaugeFunc("host.worlds", func() float64 { return float64(s.WorldCount()) })
+	s.reg.GaugeFunc("host.worlds_failed", func() float64 { return float64(s.failedCount()) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -147,6 +171,19 @@ func (s *Server) WorldCount() int {
 	return len(s.worlds)
 }
 
+// failedCount returns the number of hosted worlds in the failed state.
+func (s *Server) failedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, h := range s.worlds {
+		if h.isFailed() {
+			n++
+		}
+	}
+	return n
+}
+
 // addWorld registers a freshly built world under id (or an assigned
 // "w<N>" when empty) and starts its command loop. out, when non-nil,
 // is the narration buffer the world's closures write to.
@@ -169,9 +206,65 @@ func (s *Server) addWorld(id, scen string, b *scenario.Built, out *bytes.Buffer)
 	// to scrape; enabling is idempotent and digest-neutral. The world is
 	// not hosted yet, so touching it here cannot race its command loop.
 	b.World.EnableTelemetry(0)
-	h := newHost(id, scen, b, out)
+	h := newHost(id, scen, b, out, s.failHook())
 	s.worlds[id] = h
 	return h, nil
+}
+
+// failHook returns the callback a new host fires when its command loop
+// catches a panic: always count the failure, and hand the host to the
+// supervisor when one is configured.
+func (s *Server) failHook() func(*host) {
+	return func(h *host) {
+		s.worldFailed.Inc()
+		if s.superviseBudget > 0 {
+			s.resurrect(h)
+		}
+	}
+}
+
+// resurrect is the supervisor's self-healing path, run on a detached
+// goroutine after a host fails: restore the world's most recent
+// snapshot, stamp the resurrection into Provenance.Restarts, and swap
+// the new host in under the same ID. A world that was never
+// snapshotted, has exhausted its restart budget, or was deleted in the
+// meantime stays failed — bounded recovery, never a crash-loop.
+func (s *Server) resurrect(h *host) {
+	s.mu.Lock()
+	sn, ok := s.snaps[h.lastSnap]
+	current := s.worlds[h.id]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || current != h || !ok || h.restarts >= s.superviseBudget {
+		return
+	}
+
+	// The restore replays the snapshot's recipe — fault plan included —
+	// and proves the replay before the world is trusted with traffic.
+	b, err := checkpoint.RestoreBuilt(sn.data)
+	if err != nil {
+		return
+	}
+	if prov, ok := b.World.Provenance(); ok {
+		prov.Restarts = h.restarts + 1
+		b.World.SetProvenance(prov)
+	}
+	if s.defaultShards > 1 {
+		b.World.SetShards(s.defaultShards)
+	}
+	b.World.EnableTelemetry(0)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.worlds[h.id] != h {
+		b.World.Close() // deleted (or daemon shut down) while restoring
+		return
+	}
+	nh := newHost(h.id, h.scen, b, nil, s.failHook())
+	nh.lastSnap = h.lastSnap
+	s.worlds[h.id] = nh
+	h.close()
+	s.worldRestarts.Inc()
 }
 
 // world resolves the request's {id}, writing a 404 on a miss.
@@ -186,7 +279,10 @@ func (s *Server) world(w http.ResponseWriter, r *http.Request) *host {
 	return h
 }
 
-// info assembles a WorldInfo on the world's own loop.
+// info assembles a WorldInfo on the world's own loop. A failed world —
+// whose loop refuses commands — answers from hosting-time data plus the
+// captured failure, so listings and inspection keep working after a
+// crash.
 func (s *Server) info(h *host) (client.WorldInfo, error) {
 	var wi client.WorldInfo
 	err := h.do(func() {
@@ -203,11 +299,24 @@ func (s *Server) info(h *host) (client.WorldInfo, error) {
 			Steps:         ks.Steps,
 			Pending:       len(ks.Pending),
 			Forks:         len(prov.Forks),
+			Faults:        prov.Faults,
+			Restarts:      prov.Restarts,
 			Shards:        shards,
 			ShardFallback: fallback,
 			Digest:        world.Digest(),
+			State:         "ok",
 		}
 	})
+	if errors.Is(err, errWorldFailed) {
+		return client.WorldInfo{
+			ID:       h.id,
+			Scenario: h.scen,
+			Seed:     h.seed,
+			Restarts: h.restarts,
+			State:    "failed",
+			Failure:  h.failure,
+		}, nil
+	}
 	return wi, err
 }
 
@@ -328,6 +437,7 @@ func (s *Server) handleCreateWorld(w http.ResponseWriter, r *http.Request) {
 		Params:  req.Params,
 		Out:     out,
 		Shards:  shards,
+		Faults:  req.Faults,
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -542,6 +652,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Name: name, Scenario: h.scen, Now: now, Digest: digest, Bytes: len(data),
 	}
 	s.snaps[name] = storedSnap{data: data, info: info}
+	// The newest snapshot becomes the world's resurrection point
+	// (lastSnap is guarded by s.mu, not the command loop).
+	h.lastSnap = name
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, info)
 }
@@ -700,6 +813,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-h.quit:
 			fmt.Fprintf(w, ": world deleted (dropped=%d)\n\n", dropped.Load())
+			flusher.Flush()
+			return
+		case <-h.failedC:
+			fmt.Fprintf(w, ": world failed (dropped=%d)\n\n", dropped.Load())
 			flusher.Flush()
 			return
 		case ev := <-ch:

@@ -131,6 +131,13 @@ type Lookup struct {
 	nextSub      uint64
 	stopAnnounce func()
 
+	// downDepth is the fault-outage window depth (FaultDown): while
+	// positive the server neither serves requests nor announces.
+	// announceHeld remembers that announcements were running when the
+	// first window opened, so recovery resumes them.
+	downDepth    int
+	announceHeld bool
+
 	// AnnouncePeriod overrides DefaultAnnouncePeriod when > 0.
 	AnnouncePeriod sim.Time
 
@@ -234,6 +241,40 @@ func (l *Lookup) Stop() {
 		l.stopAnnounce = nil
 	}
 }
+
+// FaultDown adjusts the server-outage fault depth by delta. While the
+// depth is positive the lookup is a dead box: its request handler is
+// unregistered — clients' register/renew/lookup calls time out rather
+// than erroring fast, exactly the signature of a crashed server — and
+// its announcements stop. Leases keep expiring on the kernel clock, so
+// a long enough outage organically sheds every registration. Recovery
+// reinstates the handler and, if announcements were running when the
+// outage began, resumes them. Overlapping windows nest.
+func (l *Lookup) FaultDown(delta int) {
+	was := l.downDepth > 0
+	l.downDepth += delta
+	if l.downDepth < 0 {
+		l.downDepth = 0
+	}
+	is := l.downDepth > 0
+	if is == was {
+		return
+	}
+	if is {
+		l.announceHeld = l.stopAnnounce != nil
+		l.Stop()
+		l.node.HandleRequest(netsim.PortDiscovery, nil)
+	} else {
+		l.node.HandleRequest(netsim.PortDiscovery, l.serve)
+		if l.announceHeld {
+			l.announceHeld = false
+			l.Start()
+		}
+	}
+}
+
+// FaultedDown reports whether a server-outage window is open.
+func (l *Lookup) FaultedDown() bool { return l.downDepth > 0 }
 
 // serve handles one discovery request.
 func (l *Lookup) serve(src netsim.Addr, data []byte) []byte {
@@ -436,6 +477,17 @@ func (a *Agent) Node() *netsim.Node { return a.node }
 // LookupAddr returns the discovered lookup address and whether one has
 // been heard yet.
 func (a *Agent) LookupAddr() (netsim.Addr, bool) { return a.lookup, a.found }
+
+// Forget models a reboot wiping the agent's discovery memory: the
+// learned lookup address is dropped, so calls fail ErrNoLookup until
+// the next announcement is heard and OnLookupFound fires again. The
+// fault plane's device-crash restart invokes it; handlers and
+// subscriptions on the lookup side are untouched (their leases decide
+// their fate).
+func (a *Agent) Forget() {
+	a.lookup = 0
+	a.found = false
+}
 
 func (a *Agent) onAnnounce(src netsim.Addr, data []byte) {
 	var ann announcement

@@ -39,6 +39,9 @@ type State struct {
 	Cancellations   uint64      `json:"cancellations"`
 	LookupsServed   uint64      `json:"lookups_served"`
 	EventsDelivered uint64      `json:"events_delivered"`
+	// Down is the fault-outage window depth; omitted (zero) outside
+	// faults so fault-free exports stay byte-identical.
+	Down int `json:"down,omitempty"`
 }
 
 // ExportState captures the lookup service's current state in canonical
@@ -54,6 +57,7 @@ func (l *Lookup) ExportState() State {
 		Cancellations:   l.Cancellations,
 		LookupsServed:   l.LookupsServed,
 		EventsDelivered: l.EventsDelivered,
+		Down:            l.downDepth,
 	}
 	//aroma:ordered export rows are sorted by ID immediately after the loop
 	for id, reg := range l.items {

@@ -299,6 +299,11 @@ type Radio struct {
 	region    int32
 	hearPower float64
 	hearRange float64
+
+	// down is the fault-window depth (fault.go): while positive the
+	// radio can neither transmit nor receive. A depth, not a bool, so
+	// overlapping fault windows nest correctly.
+	down int
 }
 
 // pairGain is one directed cached link budget: the received power at
@@ -494,6 +499,15 @@ type Medium struct {
 	// callbacks to detect a callback that perturbed the world mid-commit
 	// and fall back to inline sequential recomputation.
 	physGen uint64
+
+	// Fault-plane state (fault.go): jamDB is the open jam windows' total
+	// extra path loss; partitions is the open partition-window depth with
+	// fenceX the fence abscissa; downRadios counts attached radios
+	// currently held down. All zero in a fault-free world.
+	jamDB      float64
+	partitions int
+	fenceX     float64
+	downRadios int
 
 	// shard is the sharded-execution configuration, nil when the medium
 	// runs sequentially (the default). pendingShards carries the
@@ -875,6 +889,12 @@ func (m *Medium) linkGain(src, rx *Radio) (mw, rssi float64) {
 		m.GainMisses++
 	}
 	rssi = m.env.ReceivedPowerDBm(src.TxPowerDBm, src.Pos, rx.Pos)
+	// Open fault windows (jam, partition) add loss here, in the one gain
+	// path every consumer shares; window toggles bump every linkGen, so
+	// a cached value never outlives the window that shaped it.
+	if m.jamDB != 0 || m.partitions > 0 {
+		rssi -= m.faultLossDB(src, rx)
+	}
 	mw = env.DBmToMilliwatts(rssi)
 	*g = pairGain{srcGen: src.linkGen, rxGen: rx.linkGen, srcPower: src.TxPowerDBm, mw: mw, rssi: rssi}
 	return mw, rssi
@@ -1018,6 +1038,9 @@ func (m *Medium) Transmit(r *Radio, bits int, rate Rate, payload any) (*Transmis
 	if !m.attached(r) {
 		return nil, fmt.Errorf("radio: %s not attached", r.Name)
 	}
+	if r.down > 0 {
+		return nil, ErrRadioDown
+	}
 	airSeconds := float64(bits) / (rate.Mbps * 1e6)
 	now := m.kernel.Now()
 	m.seq++
@@ -1124,7 +1147,7 @@ func (m *Medium) finish(tx *Transmission) {
 			m.noteShardFallback(len(receivers))
 		}
 		for _, rx := range receivers {
-			if rx.OnReceive == nil || !m.attached(rx) {
+			if rx.OnReceive == nil || rx.down > 0 || !m.attached(rx) {
 				continue
 			}
 			ov := ChannelOverlap(tx.Src.Channel, rx.Channel)

@@ -592,7 +592,7 @@ func (m *Medium) finishSharded(tx *Transmission, receivers []*Radio, noiseMW flo
 			stale = true
 			m.FallbackMidCommit++
 		}
-		if rx.OnReceive == nil || !m.attached(rx) {
+		if rx.OnReceive == nil || rx.down > 0 || !m.attached(rx) {
 			return
 		}
 		var rssi, sinr float64

@@ -15,6 +15,9 @@ type RadioState struct {
 	TxPowerDBm     float64   `json:"tx_power_dbm"`
 	CSThresholdDBm float64   `json:"cs_threshold_dbm"`
 	Pos            geo.Point `json:"pos"`
+	// Down is the fault-window depth; omitted (zero) outside faults so
+	// fault-free exports stay byte-identical to pre-fault builds.
+	Down int `json:"down,omitempty"`
 }
 
 // TxState is one in-flight transmission in canonical export form. The
@@ -40,6 +43,10 @@ type State struct {
 	Lost      uint64       `json:"lost"`
 	Radios    []RadioState `json:"radios,omitempty"`
 	Active    []TxState    `json:"active,omitempty"`
+	// Fault-plane fields, all zero (and omitted) in a fault-free world.
+	JamDB      float64 `json:"jam_db,omitempty"`
+	Partitions int     `json:"partitions,omitempty"`
+	FenceX     float64 `json:"fence_x,omitempty"`
 }
 
 // ExportState captures the medium's current state in canonical form.
@@ -52,10 +59,14 @@ func (m *Medium) ExportState() State {
 		Delivered: m.Delivered,
 		Lost:      m.Lost,
 	}
+	st.JamDB = m.jamDB
+	st.Partitions = m.partitions
+	st.FenceX = m.fenceX
 	for _, r := range m.ordered {
 		st.Radios = append(st.Radios, RadioState{
 			ID: r.ID, Name: r.Name, Channel: r.Channel,
 			TxPowerDBm: r.TxPowerDBm, CSThresholdDBm: r.CSThresholdDBm, Pos: r.Pos,
+			Down: r.down,
 		})
 	}
 	for _, tx := range m.active {

@@ -151,10 +151,22 @@ func replay(prov aroma.Provenance, until sim.Time) (b *scenario.Built, err error
 		Horizon: prov.Horizon,
 		Verbose: prov.Verbose,
 		Params:  prov.Params,
+		// Faults are recipe, not strategy: a faulted world replays with
+		// its plan re-armed, so mid-fault snapshots restore bit-identical.
+		Faults: prov.Faults,
 	}
 	b, err = scenario.Build(prov.Scenario, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: rebuild: %w", err)
+	}
+	// Restart lineage is outside the rebuild recipe (Build stamps it
+	// zero); carry it forward so a resurrected world's snapshots remember
+	// how many lives it has used.
+	if prov.Restarts > 0 {
+		if p, ok := b.World.Provenance(); ok {
+			p.Restarts = prov.Restarts
+			b.World.SetProvenance(p)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"aroma/internal/sim"
 	"aroma/internal/telemetry"
@@ -41,6 +42,17 @@ type WorldInfo struct {
 	Steps    uint64   `json:"steps"`
 	Pending  int      `json:"pending"`
 	Forks    int      `json:"forks"`
+	// Faults is the world's armed fault plan in canonical string form
+	// ("" for a clean world).
+	Faults string `json:"faults,omitempty"`
+	// State is "ok" for a live world and "failed" for one whose command
+	// loop caught a panic. A failed world no longer advances; Failure
+	// carries the captured panic message and stack.
+	State   string `json:"state,omitempty"`
+	Failure string `json:"failure,omitempty"`
+	// Restarts counts supervisor resurrections of this world from its
+	// own snapshots (0 for a world that never failed).
+	Restarts int `json:"restarts,omitempty"`
 	// Shards is the world's effective shard worker count (1 =
 	// sequential execution; digests are identical either way).
 	Shards int `json:"shards"`
@@ -65,6 +77,10 @@ type CreateWorldRequest struct {
 	Verbose bool              `json:"verbose,omitempty"`
 	Params  map[string]string `json:"params,omitempty"`
 	Shards  int               `json:"shards,omitempty"`
+	// Faults arms a deterministic fault plan on the world
+	// (internal/fault grammar). Faults are part of the workload recipe:
+	// they enter the world's provenance and its digests.
+	Faults string `json:"faults,omitempty"`
 }
 
 // RunRequest advances a hosted world. Exactly one of the fields should
@@ -136,22 +152,60 @@ type ErrorBody struct {
 	Error string `json:"error"`
 }
 
+// DefaultTimeout bounds each non-streaming request of a fresh client.
+// Without it, a hung daemon (or a run-to-horizon that takes minutes on
+// an unbounded world) would block the caller forever; callers driving
+// legitimately long runs should pass a context deadline of their own
+// or install a custom client with SetHTTPClient.
+const DefaultTimeout = 30 * time.Second
+
+// DefaultRetries is a fresh client's transport-retry budget for
+// idempotent requests (see SetRetry).
+const DefaultRetries = 2
+
 // Client talks to one aromad daemon.
 type Client struct {
 	base string
 	http *http.Client
+
+	// retries and backoff drive the idempotent-retry policy: a GET or
+	// DELETE that fails at the transport layer (connection refused or
+	// reset — the daemon restarting, say) is retried up to retries
+	// times with exponential backoff. POSTs are never retried: a create
+	// or run whose response was lost may well have executed.
+	retries int
+	backoff time.Duration
 }
 
 // New returns a client for the daemon at base (e.g.
-// "http://127.0.0.1:7433"). A nil http.Client may be set later with
-// SetHTTPClient; the default client is used otherwise.
+// "http://127.0.0.1:7433") with a DefaultTimeout-bounded HTTP client
+// and DefaultRetries transport retries for idempotent calls. Both are
+// adjustable with SetHTTPClient and SetRetry.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{Timeout: DefaultTimeout},
+		retries: DefaultRetries,
+		backoff: 100 * time.Millisecond,
+	}
 }
 
 // SetHTTPClient replaces the underlying HTTP client (tests inject
-// httptest server clients here).
+// httptest server clients here; callers with very long synchronous
+// runs raise or clear the timeout). The SSE stream derives its own
+// unbounded-timeout client from this one, so an overall client timeout
+// never cuts a healthy event stream.
 func (c *Client) SetHTTPClient(h *http.Client) { c.http = h }
+
+// SetRetry tunes the idempotent-retry policy: up to n transport
+// retries, the first after backoff, doubling each attempt. n <= 0
+// disables retries; backoff <= 0 keeps the default.
+func (c *Client) SetRetry(n int, backoff time.Duration) {
+	c.retries = n
+	if backoff > 0 {
+		c.backoff = backoff
+	}
+}
 
 // Scenarios lists the registered scenarios.
 func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
@@ -289,7 +343,9 @@ func (c *Client) Fork(ctx context.Context, snapshot, id string, seed int64) (*Wo
 // ("debug", "info", "issue", "violation"; empty means info) and invokes
 // fn for each event until ctx is cancelled, the world is deleted, or
 // the stream fails. It returns nil on a clean close (ctx cancel or
-// world deletion).
+// world deletion). The stream runs on a derived client with the
+// overall timeout cleared — an SSE stream is long-lived by design, so
+// only ctx bounds its lifetime.
 func (c *Client) StreamEvents(ctx context.Context, id, min string, fn func(Event)) error {
 	u := c.base + "/v1/worlds/" + url.PathEscape(id) + "/events"
 	if min != "" {
@@ -300,7 +356,12 @@ func (c *Client) StreamEvents(ctx context.Context, id, min string, fn func(Event
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.http.Do(req)
+	sse := &http.Client{
+		Transport:     c.http.Transport, // keep injected transports (httptest)
+		CheckRedirect: c.http.CheckRedirect,
+		Jar:           c.http.Jar,
+	}
+	resp, err := sse.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil
@@ -332,35 +393,63 @@ func (c *Client) StreamEvents(ctx context.Context, id, min string, fn func(Event
 }
 
 // do performs one JSON round-trip. A nil out discards the body.
+// Idempotent requests (GET, DELETE) that fail at the transport layer
+// are retried per the client's retry policy; HTTP-level errors are
+// never retried — the daemon answered, and its answer stands.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	attempts := 1
+	if method == http.MethodGet || method == http.MethodDelete {
+		attempts += c.retries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Exponential backoff: backoff, 2*backoff, 4*backoff, ...
+			select {
+			case <-time.After(c.backoff << (i - 1)):
+			case <-ctx.Done():
+				return lastErr
+			}
+		}
+		// A fresh request per attempt: a Request may not be reused
+		// after Do, and the body reader must rewind anyway.
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return err
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return decodeError(resp)
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
 }
 
 // decodeError turns a non-2xx response into a Go error, preferring the

@@ -1,0 +1,128 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aroma/pkg/aroma/client"
+)
+
+// dropFirst hijacks and closes the connection on the first n requests
+// — a transport-level failure (reset, daemon restarting) as opposed to
+// an HTTP-level error — then delegates to next.
+func dropFirst(n int32, calls *int32, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(calls, 1) <= n {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		next(w, r)
+	}
+}
+
+// A GET that dies at the transport layer is retried and recovers; the
+// retry budget and backoff come from SetRetry.
+func TestIdempotentRetryRecoversTransportError(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(dropFirst(1, &calls, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]client.WorldInfo{{ID: "w1"}})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	c.SetRetry(2, time.Millisecond)
+	worlds, err := c.Worlds(context.Background())
+	if err != nil {
+		t.Fatalf("Worlds after one dropped connection: %v", err)
+	}
+	if len(worlds) != 1 || worlds[0].ID != "w1" {
+		t.Errorf("worlds = %+v, want the retried response", worlds)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Errorf("server saw %d requests, want 2 (original + one retry)", got)
+	}
+}
+
+// A POST is never retried: a create or run whose response was lost may
+// well have executed, and replaying it is not safe.
+func TestPostNotRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(dropFirst(99, &calls, nil))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	c.SetRetry(3, time.Millisecond)
+	if _, err := c.CreateWorld(context.Background(), client.CreateWorldRequest{Scenario: "lab"}); err == nil {
+		t.Fatal("CreateWorld over a dead transport succeeded")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("server saw %d POSTs, want exactly 1", got)
+	}
+}
+
+// An HTTP-level error is the daemon's answer and stands: no retry,
+// and the JSON envelope surfaces in the returned error.
+func TestHTTPErrorNotRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(client.ErrorBody{Error: "boom"})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	c.SetRetry(3, time.Millisecond)
+	_, err := c.Worlds(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Worlds = %v, want the daemon's error envelope", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("server saw %d requests, want 1 — HTTP errors must not be retried", got)
+	}
+}
+
+// Cancelling the stream context ends StreamEvents promptly (clean nil
+// return) even while the server keeps the connection open — the
+// derived SSE client must carry no overall timeout yet still honor
+// ctx cancellation mid-stream.
+func TestStreamEventsHonorsContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(20 * time.Millisecond):
+				w.Write([]byte(": heartbeat\n\n"))
+				fl.Flush()
+			}
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := client.New(ts.URL).StreamEvents(ctx, "w1", "debug", func(client.Event) {})
+	if err != nil {
+		t.Errorf("cancelled stream returned %v, want nil (clean close)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("stream took %v to notice cancellation", elapsed)
+	}
+}

@@ -144,6 +144,47 @@
 // and snapshot bytes downloaded from the daemon restore in-process to
 // the bit-identical world (and vice versa).
 //
+// # Fault injection & self-healing
+//
+// WithFaults(plan) (or World.ApplyFaults, scenario.Config.Faults,
+// sweep.Design.Faults, the -faults CLI flags, and the daemon's
+// create-world API) arms a deterministic fault plan on the world: a
+// declarative schedule of device crashes, radio outages, channel
+// jamming, arena partitions, and lookup-server outages, parsed from
+// the internal/fault grammar
+// ("kind:at=5s,for=10s[,every=25s,n=3][,loss=40][,target=name]",
+// semicolon-separated; "none" is the empty plan, an explicit disarm).
+//
+// The fault determinism contract: injections are ordinary kernel
+// events, scheduled inside the (at, seq) total order, and every random
+// choice (which device crashes) comes from a dedicated fault RNG
+// stream derived from the world seed — never from the kernel's own
+// generator. Same seed + same plan therefore reproduces bit-identical
+// digests; a fault-free run and a faulted run of the same seed differ
+// only by the injected events. The injector's schedule position, RNG
+// draw count, and active windows ride ExportState, and the canonical
+// plan string is part of Provenance, so checkpoint/restore of a
+// mid-fault world — jam active, partition up — replays byte-exactly
+// and continues faulted. Injections write trace records and count on
+// aroma_fault_* instruments. In a sweep, Design.Faults crosses the
+// grid as a pseudo-axis with identical replication seeds across arms,
+// so metric deltas at equal seeds are attributable to the plan alone.
+//
+// The supervisor is the daemon's self-healing half. Every hosted
+// world's command loop is a panic boundary: a panic inside the world
+// is recovered with its stack into a terminal failed state (commands
+// refused, failure inspectable, siblings untouched). With a restart
+// budget (aromad -supervise N, daemon.WithSupervisor), a failed world
+// is automatically restored from its most recent snapshot under the
+// same ID. Restart semantics: resurrection replays the snapshot's
+// verified recipe, so the revived world is bit-identical to the
+// snapshot instant; Provenance.Restarts records the lineage and is
+// carried forward across resurrections. The budget bounds restarts
+// per world — a deterministic crash loop fails terminally after N
+// resurrections rather than thrashing forever, and a world that was
+// never snapshotted stays failed, since only a verified checkpoint is
+// a trustworthy resurrection point.
+//
 // # Observability
 //
 // World.EnableTelemetry (or WithTelemetry, scenario.Config.Metrics,
@@ -179,8 +220,8 @@
 // invariant:
 //
 //   - maprange — no order-sensitive map iteration in the deterministic
-//     packages (seed reproducibility). Escape hatch:
-//     //aroma:ordered <why>.
+//     packages, internal/fault included (seed reproducibility). Escape
+//     hatch: //aroma:ordered <why>.
 //   - wallclock — no time.Now/Sleep/... and no global math/rand in sim
 //     code; time comes from the kernel clock, randomness from the
 //     seeded world RNG. Escape hatch: //aroma:realtime <why>.
@@ -190,7 +231,9 @@
 //   - goroutineguard — no goroutine captures kernel/world/medium state
 //     outside the audited spawn sites (daemon command loop, sweep
 //     worker pool, shard-runner pool); deterministic packages admit no
-//     other go statements. Escape hatch: //aroma:goroutine <why>.
+//     other go statements, and the daemon supervisor's detached
+//     resurrection hook is an annotated, audited exception. Escape
+//     hatch: //aroma:goroutine <why>.
 //   - eagerfmt — trace recording stays lazy: no fmt.Sprintf or runtime
 //     concatenation handed to Record/Issue/Info/Violation. Escape
 //     hatch: //aroma:eagerok <why>.

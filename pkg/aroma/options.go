@@ -2,6 +2,7 @@ package aroma
 
 import (
 	"aroma/internal/core"
+	"aroma/internal/fault"
 	"aroma/internal/geo"
 	"aroma/internal/mac"
 	"aroma/internal/netsim"
@@ -26,6 +27,7 @@ type worldOptions struct {
 	netOpts        []netsim.Option
 	announcePeriod sim.Time
 	analysis       []core.AnalysisOption
+	faults         fault.Plan
 
 	telemetry       bool
 	telemetryPeriod sim.Time
@@ -150,6 +152,17 @@ func WithTelemetry(period sim.Time) Option {
 		o.telemetry = true
 		o.telemetryPeriod = period
 	}
+}
+
+// WithFaults arms a deterministic fault plan at construction: every
+// occurrence in the plan is scheduled as a kernel event, victims are
+// picked from a dedicated seed-derived fault RNG stream, and each
+// window emits trace records — so a faulted run is exactly as
+// reproducible as a clean one (same seed, same plan → same digest).
+// See internal/fault for the plan grammar and World.ApplyFaults for
+// arming after construction. An invalid plan panics at NewWorld.
+func WithFaults(plan fault.Plan) Option {
+	return func(o *worldOptions) { o.faults = plan }
 }
 
 // WithTraceMin discards trace events below the given severity.

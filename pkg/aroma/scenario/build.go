@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"aroma/internal/fault"
 	"aroma/internal/sim"
 	"aroma/pkg/aroma"
 )
@@ -114,9 +115,25 @@ func Build(name string, cfg Config) (b *Built, err error) {
 			params[k] = v
 		}
 	}
+	// Arm the config's fault plan unless the builder armed one itself
+	// (a builder with a default plan resolves cfg.Faults on its own, so
+	// the world it returns is already authoritative).
+	if cfg.Faults != "" && !b.World.HasFaults() {
+		plan, perr := fault.Parse(cfg.Faults)
+		if perr != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, perr)
+		}
+		if aerr := b.World.ApplyFaults(plan); aerr != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, aerr)
+		}
+	}
 	b.World.SetProvenance(aroma.Provenance{
 		Scenario: name, Seed: cfg.Seed, Horizon: cfg.Horizon,
 		Verbose: cfg.Verbose, Params: params,
+		// The armed plan (the builder's or the config's) in canonical
+		// form: faults shape the event sequence, so they are recipe, not
+		// strategy.
+		Faults: b.World.FaultPlan(),
 	})
 	// Execution strategy and observability, applied after the recipe is
 	// stamped: neither sharding nor telemetry changes digests, so

@@ -62,6 +62,16 @@ type Config struct {
 	// observation, not part of the workload: digests are bit-identical
 	// with it on or off, and it is absent from the world's Provenance.
 	Metrics bool
+	// Faults, when non-empty, arms a deterministic fault plan on
+	// world-registered scenarios (internal/fault grammar, e.g.
+	// "crash:at=10s,for=5s;jam:at=15s,for=10s,loss=30"). Unlike Shards
+	// and Metrics, faults change what happens in the world — injections
+	// are kernel events and their trace records enter the digest — so
+	// the plan IS part of the workload: Build stamps it into the world's
+	// Provenance and checkpoint replay re-arms it. Same seed + same plan
+	// → bit-identical digests; a builder that arms its own default plan
+	// may consult Faults first (see the faultstorm scenario).
+	Faults string
 }
 
 // Param returns the raw value of a named parameter and whether it is set.

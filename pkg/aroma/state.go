@@ -5,6 +5,7 @@ import (
 
 	"aroma/internal/discovery"
 	"aroma/internal/env"
+	"aroma/internal/fault"
 	"aroma/internal/geo"
 	"aroma/internal/mac"
 	"aroma/internal/netsim"
@@ -37,8 +38,17 @@ type Provenance struct {
 	Horizon sim.Time          `json:"horizon"`
 	Verbose bool              `json:"verbose,omitempty"`
 	Params  map[string]string `json:"params,omitempty"`
+	// Faults is the armed fault plan in canonical string form ("" when
+	// the world runs clean). Unlike execution strategy (shards,
+	// telemetry), faults change what happens in the world, so they are
+	// part of the recipe: replaying a faulted world re-arms the plan.
+	Faults string `json:"faults,omitempty"`
 	// Forks is the ordered reseed lineage (empty for an unforked world).
 	Forks []ForkPoint `json:"forks,omitempty"`
+	// Restarts counts supervisor resurrections of this world from its
+	// own snapshots (see internal/daemon): lineage for worlds that died
+	// and were restored. Zero for a world that never failed.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // SetProvenance stamps the world's build recipe. scenario.Build calls
@@ -100,8 +110,13 @@ type WorldState struct {
 	Lookups  []discovery.State `json:"lookups,omitempty"`
 	Devices  []DeviceState     `json:"devices,omitempty"`
 	Users    []UserState       `json:"users,omitempty"`
-	TraceLen int               `json:"trace_len"`
-	Digest   string            `json:"digest"`
+	// Faults is the armed fault injector's snapshot (plan, RNG draw
+	// count, per-kind injection counters); nil — and omitted — for a
+	// fault-free world, keeping its canonical JSON byte-identical to
+	// pre-fault builds.
+	Faults   *fault.State `json:"faults,omitempty"`
+	TraceLen int          `json:"trace_len"`
+	Digest   string       `json:"digest"`
 }
 
 // ExportState captures the world's current state across all layers.
@@ -115,6 +130,10 @@ func (w *World) ExportState() WorldState {
 		Net:      w.net.ExportState(),
 		TraceLen: len(w.log.Events()),
 		Digest:   w.Digest(),
+	}
+	if w.faults != nil {
+		fs := w.faults.ExportState()
+		st.Faults = &fs
 	}
 	for _, lk := range w.lookups {
 		st.Lookups = append(st.Lookups, lk.ExportState())

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"aroma/internal/fault"
 	"aroma/internal/sim"
 	"aroma/pkg/aroma/checkpoint"
 	"aroma/pkg/aroma/scenario"
@@ -111,6 +112,27 @@ type Design struct {
 	// with it on or off.
 	Telemetry bool
 
+	// Faults, when non-empty, is a fault-plan pseudo-axis: each value is
+	// an internal/fault plan string (the alias "none" is the clean
+	// control arm) and the cell grid is crossed with it, so every
+	// parameter cell runs once per plan. Unlike a Params axis, the plan
+	// reaches the run as scenario.Config.Faults — part of the workload
+	// recipe, stamped into each world's provenance. Arms pass through
+	// verbatim, so "none" stays distinguishable from an absent plan: a
+	// scenario with its own default storm (faultstorm) treats "none" as
+	// an explicit disarm, not as "use the default". Replication seeds are
+	// identical across the fault arms, so a metric delta between "none"
+	// and a plan at equal seeds is attributable to the faults alone.
+	Faults []string
+
+	// RetryFailed, when true, re-runs each failed replication once with
+	// the identical Config (same seed, same params, same plan) before
+	// recording it. Deterministic scenario failures fail twice and land
+	// as failed rows either way; the retry exists for host-level flakes
+	// (OOM kills, CI noise) and is visible in Row.Attempts, so a
+	// passed-on-retry run is auditable rather than silent.
+	RetryFailed bool
+
 	// Snapshot, when non-nil, is a pkg/aroma/checkpoint image and turns
 	// the campaign into snapshot-forked replications: instead of a cold
 	// build, every replication restores the snapshot and forks it with
@@ -127,11 +149,18 @@ type Design struct {
 // Cell is one point of the parameter grid.
 type Cell struct {
 	// Index is the cell's position in row-major grid order (first axis
-	// slowest). Rows and aggregates keep this order at any worker count.
+	// slowest, the fault pseudo-axis innermost). Rows and aggregates
+	// keep this order at any worker count.
 	Index int
 	// Params maps axis name to this cell's value.
 	Params map[string]string
-	// Label is the canonical "a=1 b=x" rendering, in axis order.
+	// Faults is this cell's fault arm, verbatim ("" only for a design
+	// without a fault axis; the clean arm carries the literal "none").
+	// It is deliberately not a Params entry: plans flow through
+	// scenario.Config.Faults, not the scenario's parameter namespace.
+	Faults string
+	// Label is the canonical "a=1 b=x" rendering, in axis order, with a
+	// trailing "faults=<plan>" when the design sweeps fault plans.
 	Label string
 }
 
@@ -172,23 +201,45 @@ func (d *Design) seeds() []int64 {
 	return out
 }
 
-// Cells enumerates the grid in row-major order (first axis slowest).
+// Cells enumerates the grid in row-major order (first axis slowest),
+// crossed with the fault pseudo-axis as the innermost dimension: for
+// every parameter cell, one cell per Design.Faults value.
 func (d *Design) Cells() []Cell {
-	if len(d.Axes) == 0 {
-		return []Cell{{Index: 0, Params: map[string]string{}, Label: ""}}
-	}
 	total := 1
 	for _, a := range d.Axes {
 		total *= len(a.Values)
 	}
-	cells := make([]Cell, 0, total)
+	// A design without the pseudo-axis is a single implicit arm that
+	// leaves Config.Faults empty (the scenario's own default applies).
+	arms := d.Faults
+	if len(arms) == 0 {
+		arms = []string{""}
+	}
+	cells := make([]Cell, 0, total*len(arms))
 	idx := make([]int, len(d.Axes))
 	for i := 0; i < total; i++ {
 		params := make(map[string]string, len(d.Axes))
 		for ai, a := range d.Axes {
 			params[a.Name] = a.Values[idx[ai]]
 		}
-		cells = append(cells, Cell{Index: i, Params: params, Label: d.label(params)})
+		label := d.label(params)
+		for _, arm := range arms {
+			c := Cell{Index: len(cells), Params: params, Label: label}
+			if len(d.Faults) > 0 {
+				// Verbatim, so "none" explicitly disarms a scenario that
+				// would otherwise apply a default plan to an empty Faults.
+				c.Faults = arm
+				armLabel := arm
+				if armLabel == "" {
+					armLabel = "none"
+				}
+				if c.Label != "" {
+					c.Label += " "
+				}
+				c.Label += "faults=" + armLabel
+			}
+			cells = append(cells, c)
+		}
 		for ai := len(d.Axes) - 1; ai >= 0; ai-- {
 			idx[ai]++
 			if idx[ai] < len(d.Axes[ai].Values) {
@@ -216,6 +267,9 @@ func (d *Design) Validate() error {
 		}
 		if len(d.Axes) > 0 {
 			return fmt.Errorf("sweep: a snapshot-forked campaign cannot have axes — the world is already built, only seeds vary")
+		}
+		if len(d.Faults) > 0 {
+			return fmt.Errorf("sweep: a snapshot-forked campaign cannot sweep fault plans — the restored world's plan is fixed by its provenance")
 		}
 		img, err := checkpoint.Decode(d.Snapshot)
 		if err != nil {
@@ -252,6 +306,22 @@ func (d *Design) Validate() error {
 				return fmt.Errorf("sweep: axis %q repeats value %q — two cells would share a (params, seed) pair", a.Name, v)
 			}
 			vals[v] = true
+		}
+	}
+	if len(d.Faults) > 0 {
+		arms := make(map[string]bool, len(d.Faults))
+		for _, arm := range d.Faults {
+			plan, err := fault.Parse(arm)
+			if err != nil {
+				return fmt.Errorf("sweep: fault arm %q: %w", arm, err)
+			}
+			// Deduplicate on the canonical form, so "none", "", and a
+			// reordered spelling of the same plan all collide.
+			key := plan.String()
+			if arms[key] {
+				return fmt.Errorf("sweep: fault arm %q repeats plan %q — two cells would share a (params, seed) pair", arm, key)
+			}
+			arms[key] = true
 		}
 	}
 	if len(d.Seeds) > 0 {

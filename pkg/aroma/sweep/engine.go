@@ -162,17 +162,29 @@ func (s *Sweep) runOne(ti int) Row {
 		Params:  cell.Params,
 		Shards:  s.design.Shards,
 		Metrics: s.design.Telemetry,
+		Faults:  cell.Faults,
 	}
 	t0 := time.Now()
 	res, err := s.call(cfg)
+	attempts := 0
+	if err != nil && s.design.RetryFailed {
+		// One retry with the byte-identical Config: a deterministic
+		// failure fails again; a host-level flake gets a second chance.
+		// The retry is recorded (Row.Attempts), never silent.
+		attempts = 2
+		buf.Reset()
+		res, err = s.call(cfg)
+	}
 	row := Row{
-		Cell:   cell.Index,
-		Label:  cell.Label,
-		Params: cell.Params,
-		Rep:    rep,
-		Seed:   seed,
-		WallNS: time.Since(t0).Nanoseconds(),
-		Done:   true,
+		Cell:     cell.Index,
+		Label:    cell.Label,
+		Params:   cell.Params,
+		Faults:   cell.Faults,
+		Rep:      rep,
+		Seed:     seed,
+		Attempts: attempts,
+		WallNS:   time.Since(t0).Nanoseconds(),
+		Done:     true,
 	}
 	row.Output = buf.String()
 	if err != nil {
@@ -254,9 +266,10 @@ func (s *Sweep) buildReport(rows []Row, elapsed time.Duration) *Report {
 	for _, a := range s.design.Axes {
 		rep.Axes = append(rep.Axes, a.Name)
 	}
+	rep.FaultAxis = len(s.design.Faults) > 0
 	cellOf := make([]*CellSummary, len(s.cells))
 	for i, c := range s.cells {
-		cellOf[i] = &CellSummary{Index: c.Index, Label: c.Label, Params: c.Params}
+		cellOf[i] = &CellSummary{Index: c.Index, Label: c.Label, Params: c.Params, Faults: c.Faults}
 		rep.Cells = append(rep.Cells, cellOf[i])
 	}
 	for _, row := range rows {

@@ -23,8 +23,15 @@ type Row struct {
 	Cell   int               `json:"cell"`
 	Label  string            `json:"label,omitempty"`
 	Params map[string]string `json:"params,omitempty"`
-	Rep    int               `json:"rep"`
-	Seed   int64             `json:"seed"`
+	// Faults is the cell's fault plan ("" and omitted on clean arms),
+	// mirroring what the run's scenario.Config.Faults carried.
+	Faults string `json:"faults,omitempty"`
+	Rep    int    `json:"rep"`
+	Seed   int64  `json:"seed"`
+	// Attempts is non-zero only when Design.RetryFailed re-ran this
+	// task: 2 means the first attempt failed and the recorded outcome is
+	// the retry's. Zero means the single ordinary attempt.
+	Attempts int `json:"attempts,omitempty"`
 
 	Name       string             `json:"scenario,omitempty"`
 	Digest     string             `json:"digest,omitempty"`
@@ -57,6 +64,8 @@ type CellSummary struct {
 	Index  int
 	Label  string
 	Params map[string]string
+	// Faults is the cell's fault plan ("" on clean arms).
+	Faults string
 	// N counts successful replications; Failed counts errored ones.
 	N      int
 	Failed int
@@ -72,6 +81,9 @@ type Report struct {
 	Workers int
 	// Axes preserves the design's axis-name order for artifact columns.
 	Axes []string
+	// FaultAxis records that the design swept fault plans, so the CSV
+	// aggregate carries a faults column even if every arm was clean.
+	FaultAxis bool
 	// Total is the planned run count; len(Rows) < Total means the sweep
 	// was cut short (cancellation or fail-fast).
 	Total   int
@@ -201,9 +213,12 @@ func (r *Report) WriteMetricsJSONL(w io.Writer) error {
 func (r *Report) WriteCSV(w io.Writer) error {
 	names := r.MetricNames()
 	axes := r.Axes
-	header := make([]string, 0, len(axes)+2+4*len(names))
+	header := make([]string, 0, len(axes)+3+4*len(names))
 	for _, a := range axes {
 		header = append(header, "param_"+a)
+	}
+	if r.FaultAxis {
+		header = append(header, "faults")
 	}
 	header = append(header, "n", "failed")
 	for _, name := range names {
@@ -217,6 +232,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		rec := make([]string, 0, len(header))
 		for _, a := range axes {
 			rec = append(rec, c.Params[a])
+		}
+		if r.FaultAxis {
+			f := c.Faults
+			if f == "" {
+				f = "none"
+			}
+			rec = append(rec, f)
 		}
 		rec = append(rec, strconv.Itoa(c.N), strconv.Itoa(c.Failed))
 		for _, name := range names {

@@ -204,6 +204,12 @@ func (w *World) registerInstruments(reg *telemetry.Registry) {
 		return t
 	})
 
+	// Fault plane, only when a plan is armed: fault-free worlds keep the
+	// exact pre-fault instrument inventory (and metric surfaces).
+	if w.faults != nil {
+		w.registerFaultInstruments(reg)
+	}
+
 	// Trace: per-severity event counters, bumped by the bus on every
 	// published record (handle update — dense slot, no allocation).
 	sevCounters := make([]telemetry.Counter, int(trace.Violation)+1)
@@ -221,6 +227,42 @@ func (w *World) registerInstruments(reg *telemetry.Registry) {
 		reg.HostTimer("host.shard_eval"),
 		reg.HostTimer("host.shard_commit"),
 	)
+}
+
+// registerFaultInstruments wires the fault plane's instruments:
+// per-kind injection counters, the fault RNG draw count, and gauges for
+// the currently open failure windows. Registered only for worlds with
+// an armed plan, from whichever of EnableTelemetry/ApplyFaults runs
+// second.
+func (w *World) registerFaultInstruments(reg *telemetry.Registry) {
+	inj := w.faults
+	m := w.medium
+	kind := func(name string, fn func() uint64) {
+		reg.CounterFunc("fault.injected_total", fn, telemetry.L("kind", name))
+	}
+	kind("crash", func() uint64 { c, _, _, _, _ := inj.Counts(); return c })
+	kind("radio", func() uint64 { _, c, _, _, _ := inj.Counts(); return c })
+	kind("jam", func() uint64 { _, _, c, _, _ := inj.Counts(); return c })
+	kind("partition", func() uint64 { _, _, _, c, _ := inj.Counts(); return c })
+	kind("outage", func() uint64 { _, _, _, _, c := inj.Counts(); return c })
+	reg.CounterFunc("fault.rng_draws_total", inj.Draws)
+	reg.GaugeFunc("fault.radios_down", func() float64 { return float64(m.DownRadios()) })
+	reg.GaugeFunc("fault.jam_db", m.JamDB)
+	reg.GaugeFunc("fault.partition_open", func() float64 {
+		if m.Partitioned() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("fault.lookups_down", func() float64 {
+		var t int
+		for _, lk := range w.lookups {
+			if lk.FaultedDown() {
+				t++
+			}
+		}
+		return float64(t)
+	})
 }
 
 // sevLabel is the lower-case Prometheus label value for a severity.

@@ -6,6 +6,7 @@ import (
 
 	"aroma/internal/core"
 	"aroma/internal/env"
+	"aroma/internal/fault"
 	"aroma/internal/geo"
 	"aroma/internal/mac"
 	"aroma/internal/netsim"
@@ -44,6 +45,10 @@ type World struct {
 	// the key that makes the world snapshottable.
 	prov *Provenance
 
+	// faults, when set, is the armed fault injector (see ApplyFaults /
+	// WithFaults): the fault plan's schedule and dedicated RNG stream.
+	faults *fault.Injector
+
 	// tel, when set, is the world's instrument registry (see
 	// EnableTelemetry); telStop halts its kernel sampler.
 	tel     *telemetry.Registry
@@ -79,6 +84,13 @@ func NewWorld(opts ...Option) *World {
 		byName: make(map[string]*Device),
 	}
 	log.OnRecord = w.bus.publish
+	if !o.faults.Empty() {
+		// Options are construction-time misassembly checks, so an invalid
+		// plan panics like a duplicate device name would.
+		if err := w.ApplyFaults(o.faults); err != nil {
+			panic(err)
+		}
+	}
 	if o.telemetry {
 		w.EnableTelemetry(o.telemetryPeriod)
 	}
